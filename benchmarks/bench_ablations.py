@@ -1,0 +1,386 @@
+"""Ablations for the design choices the paper discusses (§VI, §VII, §XII).
+
+Five knobs, each benchmarked with everything else held fixed:
+
+* **gossip fanout** — §XII's latency/bandwidth trade-off: higher fanout
+  converges queries faster but costs every member more gossip traffic;
+* **smallest-group routing** — §VI's multi-constraint optimisation: route to
+  the attribute with the fewest candidates instead of any attribute;
+* **representative upload interval** — §VII: fresher member lists at the
+  price of upload bandwidth;
+* **cache freshness** — §VI: how much staleness tolerance buys in hit rate
+  and latency;
+* **group-size cap (fork threshold)** — §VII: smaller groups answer faster
+  (Fig. 8c) but multiply the group count the router must fan over.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED, bench_queries, build_finder
+from repro.core.config import FocusConfig
+from repro.core.query import Query, QueryTerm
+from repro.gossip.agent import SerfConfig
+from repro.harness import build_focus_cluster, run_query
+from repro.harness.scenarios import build_single_group_cluster
+from repro.sim.metrics import Histogram
+from repro.workloads import node_spec_factory
+from repro.workloads.querygen import grouped_placement_query
+
+
+# --------------------------------------------------------------- fanout
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_gossip_fanout(benchmark, record_rows):
+    group_size = 200
+
+    def run_point(fanout: int) -> dict:
+        serf = SerfConfig(gossip_fanout=fanout, gossip_interval=0.1)
+        scenario = build_single_group_cluster(
+            group_size, seed=BENCH_SEED, serf_config=serf
+        )
+        scenario.sim.run_until(5.0)
+        query = Query([QueryTerm.at_least("load", 0.0)], freshness_ms=0.0)
+        start = scenario.sim.now
+        pulls = [run_query(scenario, query).elapsed for _ in range(5)]
+        window = scenario.sim.now - start
+        member = scenario.agents[17]
+        member_bytes = sum(
+            scenario.network.meter(a).bytes_in_window(start, scenario.sim.now)
+            for a in member.endpoint_addresses()
+        )
+        return {
+            "fanout": fanout,
+            "latency_ms": sum(pulls) / len(pulls) * 1000.0,
+            "member_kbps": member_bytes / window / 1024.0,
+        }
+
+    results = benchmark.pedantic(
+        lambda: [run_point(f) for f in (2, 4, 8)], rounds=1, iterations=1
+    )
+    record_rows(
+        "Ablation — gossip fanout (200-member group, query pulls)",
+        ["fanout", "pull latency (ms)", "member bandwidth (KB/s)"],
+        [(r["fanout"], round(r["latency_ms"]), round(r["member_kbps"], 2))
+         for r in results],
+    )
+    by_fanout = {r["fanout"]: r for r in results}
+    # Higher fanout -> faster convergence...
+    assert by_fanout[8]["latency_ms"] < by_fanout[2]["latency_ms"]
+    # ...while all stay sub-second at this size.
+    assert by_fanout[2]["latency_ms"] < 1200.0
+
+
+# ------------------------------------------------- smallest-group routing
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_smallest_group_routing(benchmark, record_rows):
+    """A query with one narrow term and one broad term: routing on the
+    narrow term touches far fewer nodes."""
+
+    def run_point(enabled: bool) -> dict:
+        config = FocusConfig(smallest_group_routing=enabled)
+        scenario = build_focus_cluster(
+            400,
+            seed=BENCH_SEED,
+            config=config,
+            warm_start=True,
+            with_store=False,
+            record_bandwidth_events=False,
+            node_factory=node_spec_factory(seed=BENCH_SEED),
+        )
+        scenario.sim.run_until(5.0)
+        query = Query(
+            [
+                # Narrow: one cpu group (1/4 of nodes).
+                QueryTerm("cpu_percent", lower=0.0, upper=24.9),
+                # Broad: nearly everyone.
+                QueryTerm("ram_mb", lower=0.0, upper=16384.0),
+            ],
+            freshness_ms=0.0,
+        )
+        before = scenario.service.metrics.counter("group_queries").value
+        response = run_query(scenario, query)
+        fanout = scenario.service.metrics.counter("group_queries").value - before
+        return {
+            "enabled": enabled,
+            "groups_queried": int(fanout),
+            "matches": len(response.matches),
+            "latency_ms": response.elapsed * 1000.0,
+        }
+
+    results = benchmark.pedantic(
+        lambda: [run_point(True), run_point(False)], rounds=1, iterations=1
+    )
+    record_rows(
+        "Ablation — smallest-group routing (narrow cpu term + broad ram term)",
+        ["smallest-group routing", "groups queried", "matches", "latency (ms)"],
+        [("on" if r["enabled"] else "off", r["groups_queried"], r["matches"],
+          round(r["latency_ms"])) for r in results],
+    )
+    on, off = results
+    assert on["matches"] == off["matches"]  # same answers either way
+    assert on["groups_queried"] < off["groups_queried"]
+
+
+# ------------------------------------------------ representative interval
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_report_interval(benchmark, record_rows):
+    def run_point(interval: float) -> dict:
+        config = FocusConfig(report_interval=interval)
+        finder = build_finder("focus", 400, config=config)
+        scenario = finder.scenario
+        scenario.sim.run_until(5.0)
+        finder.reset_server_bandwidth()
+        start = scenario.sim.now
+        scenario.sim.run_until(start + 30.0)
+        bandwidth = finder.server_bandwidth_bytes() / 30.0 / 1024.0
+        ages = [
+            scenario.sim.now - g.updated_at
+            for g in scenario.service.dgm.groups.all_groups()
+            if g.members
+        ]
+        return {
+            "interval": interval,
+            "report_kbps": bandwidth,
+            "staleness_s": sum(ages) / len(ages),
+        }
+
+    results = benchmark.pedantic(
+        lambda: [run_point(i) for i in (2.5, 5.0, 10.0)], rounds=1, iterations=1
+    )
+    record_rows(
+        "Ablation — representative upload interval (400 nodes, idle)",
+        ["interval (s)", "server bandwidth (KB/s)", "mean member-list age (s)"],
+        [(r["interval"], round(r["report_kbps"], 1), round(r["staleness_s"], 1))
+         for r in results],
+    )
+    by_interval = {r["interval"]: r for r in results}
+    assert by_interval[2.5]["report_kbps"] > by_interval[10.0]["report_kbps"]
+    assert by_interval[2.5]["staleness_s"] < by_interval[10.0]["staleness_s"]
+
+
+# ------------------------------------------------------- cache freshness
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_cache_freshness(benchmark, record_rows):
+    def run_point(freshness_ms: float) -> dict:
+        scenario = build_focus_cluster(
+            200,
+            seed=BENCH_SEED,
+            warm_start=True,
+            with_store=False,
+            record_bandwidth_events=False,
+            node_factory=node_spec_factory(seed=BENCH_SEED),
+        )
+        scenario.sim.run_until(3.0)
+        rng = random.Random(4)
+        queries = [
+            grouped_placement_query(rng, limit=10, freshness_ms=freshness_ms)
+            for _ in range(60)
+        ]
+        latency = Histogram("lat")
+        start = scenario.sim.now
+        for index, query in enumerate(queries):
+            scenario.sim.schedule_at(
+                start + index * 0.25,
+                scenario.app.query,
+                query,
+                lambda response: latency.observe(response.elapsed),
+            )
+        scenario.sim.run_until(start + 60 * 0.25 + 5.0)
+        return {
+            "freshness_ms": freshness_ms,
+            "hit_rate": scenario.service.cache.hit_rate,
+            "mean_ms": latency.mean() * 1000.0,
+        }
+
+    results = benchmark.pedantic(
+        lambda: [run_point(f) for f in (0.0, 1000.0, 15000.0)],
+        rounds=1, iterations=1,
+    )
+    record_rows(
+        "Ablation — cache freshness bound (60 placement queries at 4/s)",
+        ["freshness (ms)", "cache hit rate", "mean latency (ms)"],
+        [(r["freshness_ms"], round(r["hit_rate"], 2), round(r["mean_ms"]))
+         for r in results],
+    )
+    by_freshness = {r["freshness_ms"]: r for r in results}
+    assert by_freshness[0.0]["hit_rate"] == 0.0
+    assert by_freshness[15000.0]["hit_rate"] > 0.3
+    assert by_freshness[15000.0]["mean_ms"] < by_freshness[0.0]["mean_ms"]
+
+
+# ------------------------------------------------------------- delegation
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_delegation(benchmark, record_rows):
+    """§VI's load-shedding: past a threshold of outstanding queries the
+    server hands the group fan-out to the application. Server CPU drops;
+    the application pays the pull; answers stay identical."""
+    from repro.sim.metrics import Histogram
+
+    def run_point(enabled: bool) -> dict:
+        config = FocusConfig(
+            delegation_enabled=enabled,
+            delegation_threshold=2,
+            cache_enabled=False,
+        )
+        finder = build_finder("focus", 200, config=config)
+        scenario = finder.scenario
+        scenario.sim.run_until(3.0)
+        latency = Histogram("lat")
+        sources = {"delegated": 0, "other": 0}
+
+        def record(result) -> None:
+            if result.get("source") == "delegated":
+                sources["delegated"] += 1
+            else:
+                sources["other"] += 1
+
+        start = scenario.sim.now
+        queries = bench_queries(90)
+        for index, query in enumerate(queries):
+            sent_at = start + index / 30.0  # 30 q/s: enough to queue up
+
+            def cb(result, sent_at=sent_at):
+                record(result)
+                latency.observe(scenario.sim.now - sent_at)
+
+            scenario.sim.schedule_at(sent_at, finder.query, query, cb)
+        end = start + 3.0 + 6.0
+        scenario.sim.run_until(end)
+        return {
+            "enabled": enabled,
+            "server_cpu": scenario.service.resources.mean_cpu_over(start, end),
+            "mean_ms": latency.mean() * 1000.0,
+            "delegated": sources["delegated"],
+            "answered": sources["delegated"] + sources["other"],
+        }
+
+    results = benchmark.pedantic(
+        lambda: [run_point(False), run_point(True)], rounds=1, iterations=1
+    )
+    record_rows(
+        "Ablation — query delegation under load (200 nodes, 30 q/s)",
+        ["delegation", "server CPU", "mean latency (ms)", "delegated queries"],
+        [
+            ("on" if r["enabled"] else "off", round(r["server_cpu"], 3),
+             round(r["mean_ms"]), r["delegated"])
+            for r in results
+        ],
+    )
+    off, on = results
+    assert off["delegated"] == 0
+    assert on["delegated"] > 0
+    assert off["answered"] == on["answered"] == 90
+    # Delegated fan-out work leaves the server.
+    assert on["server_cpu"] < off["server_cpu"]
+
+
+# ---------------------------------------------------------- update churn
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_update_churn(benchmark, record_rows):
+    """How attribute volatility (group moves, transition-table traffic,
+    report churn) feeds into FOCUS's server bandwidth — the cost side of
+    being pull-based over *highly dynamic* state."""
+    from repro.workloads import WorkloadDriver
+    from repro.workloads.dynamics import default_dynamics
+
+    def run_point(volatility: float) -> dict:
+        finder = build_finder("focus", 400)
+        scenario = finder.scenario
+        scenario.sim.run_until(3.0)
+        driver = None
+        if volatility > 0:
+            driver = WorkloadDriver(
+                scenario.sim,
+                scenario.agents,
+                dynamics=default_dynamics(volatility=volatility),
+                seed=6,
+            )
+            driver.start()
+        finder.reset_server_bandwidth()
+        suggestions_before = scenario.service.metrics.counter("suggestions").value
+        start = scenario.sim.now
+        for index, query in enumerate(bench_queries(10)):
+            scenario.sim.schedule_at(start + index * 1.0, finder.query, query,
+                                     lambda response: None)
+        scenario.sim.run_until(start + 15.0)
+        if driver is not None:
+            driver.stop()
+        moves = scenario.service.metrics.counter("suggestions").value - suggestions_before
+        return {
+            "volatility": volatility,
+            "kbps": finder.server_bandwidth_bytes() / 15.0 / 1024.0,
+            "moves": int(moves),
+        }
+
+    results = benchmark.pedantic(
+        lambda: [run_point(v) for v in (0.0, 0.005, 0.02)], rounds=1, iterations=1
+    )
+    record_rows(
+        "Ablation — attribute volatility (400 nodes, 1 query/s)",
+        ["volatility (frac of range/s)", "server KB/s", "group moves"],
+        [(r["volatility"], round(r["kbps"], 1), r["moves"]) for r in results],
+    )
+    by_volatility = {r["volatility"]: r for r in results}
+    assert by_volatility[0.0]["moves"] == 0
+    assert by_volatility[0.02]["moves"] > by_volatility[0.005]["moves"] > 0
+    assert by_volatility[0.02]["kbps"] > by_volatility[0.005]["kbps"]
+    # Honest finding: the pull advantage erodes with churn. At moderate
+    # volatility FOCUS still beats the 400-node push firehose (~107 KB/s,
+    # Fig. 7a); crank volatility far enough (nodes crossing a group boundary
+    # every couple of seconds) and move/suggest/report traffic dominates —
+    # attribute cutoffs must be sized against expected volatility.
+    assert by_volatility[0.005]["kbps"] < 107.0
+
+
+# ------------------------------------------------------ fork threshold
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_fork_threshold(benchmark, record_rows):
+    def run_point(cap: int) -> dict:
+        config = FocusConfig(max_group_size=cap)
+        scenario = build_focus_cluster(
+            800,
+            seed=BENCH_SEED,
+            config=config,
+            warm_start=True,
+            with_store=False,
+            record_bandwidth_events=False,
+            node_factory=node_spec_factory(seed=BENCH_SEED),
+        )
+        scenario.sim.run_until(3.0)
+        rng = random.Random(5)
+        latencies = []
+        for _ in range(8):
+            query = grouped_placement_query(rng, limit=None, freshness_ms=0.0)
+            latencies.append(run_query(scenario, query).elapsed)
+        groups = [g for g in scenario.service.dgm.groups.all_groups()
+                  if g.size_estimate() > 0]
+        sizes = [g.size_estimate() for g in groups]
+        return {
+            "cap": cap,
+            "mean_ms": sum(latencies) / len(latencies) * 1000.0,
+            "groups": len(groups),
+            "max_group": max(sizes),
+        }
+
+    results = benchmark.pedantic(
+        lambda: [run_point(c) for c in (50, 150, 400)], rounds=1, iterations=1
+    )
+    record_rows(
+        "Ablation — group fork threshold (800 nodes, find-all queries)",
+        ["size cap", "mean latency (ms)", "groups", "largest group"],
+        [(r["cap"], round(r["mean_ms"]), r["groups"], r["max_group"])
+         for r in results],
+    )
+    by_cap = {r["cap"]: r for r in results}
+    # Smaller caps -> more groups, none above the cap.
+    assert by_cap[50]["groups"] > by_cap[400]["groups"]
+    assert by_cap[50]["max_group"] <= 50
+    assert by_cap[400]["max_group"] > 150
+    # End-to-end latency is dominated by the *slowest queried group* and the
+    # groups are pulled in parallel, so the per-group convergence advantage
+    # of small caps (visible in isolation in Fig. 8c) largely washes out
+    # here — the cap's real cost/benefit is the group-count fan-out above.
+    assert max(r["mean_ms"] for r in results) < 1.5 * min(
+        r["mean_ms"] for r in results
+    )

@@ -1,0 +1,95 @@
+"""Fig. 7a — bandwidth consumption at the query server vs node count (§X-B).
+
+All six systems see the identical node population and the identical query
+stream (placement queries in the paper's directed-pull idiom, 1 query/s;
+push-style systems also update at 1/s as in the paper). The metric is bytes
+crossing the central-site boundary.
+
+Paper findings at 1600 nodes: FOCUS eliminates 86% / 92% / 93% / 95% of the
+traffic of static hierarchy / RabbitMQ(pub) / naive push=pull / RabbitMQ(sub)
+— i.e. a 5-15x reduction band with FOCUS cheapest and the query-broadcast
+systems (pull, MQ-sub) most expensive.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_queries, build_finder, measure_bandwidth
+
+SYSTEMS = ("focus", "hierarchy", "rabbitmq-pub", "naive-push", "naive-pull",
+           "rabbitmq-sub")
+NODE_COUNTS = (100, 400, 1600)
+QUERIES_PER_POINT = 10
+
+
+def run_point(system: str, num_nodes: int) -> dict:
+    finder = build_finder(system, num_nodes)
+    stats = measure_bandwidth(finder, bench_queries(QUERIES_PER_POINT))
+    stats.update({"system": system, "nodes": num_nodes})
+    return stats
+
+
+@pytest.mark.benchmark(group="fig7a")
+def test_fig7a_server_bandwidth(benchmark, record_rows):
+    def sweep():
+        return [
+            run_point(system, nodes)
+            for nodes in NODE_COUNTS
+            for system in SYSTEMS
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = {}
+    matches = {}
+    for r in results:
+        table[(r["system"], r["nodes"])] = r["bandwidth_kbps"]
+        matches[(r["system"], r["nodes"])] = r["matches"]
+
+    record_rows(
+        "Fig. 7a — server bandwidth (KB/s) vs nodes, 1 query/s + 1 update/s",
+        ["system"] + [f"N={n}" for n in NODE_COUNTS] + ["reduction @1600"],
+        [
+            (
+                system,
+                *(round(table[(system, n)], 1) for n in NODE_COUNTS),
+                "-"
+                if system == "focus"
+                else f"{100 * (1 - table[('focus', 1600)] / table[(system, 1600)]):.0f}%",
+            )
+            for system in SYSTEMS
+        ],
+    )
+
+    # Every system returns identical match sets over identical populations.
+    for nodes in NODE_COUNTS:
+        counts = {matches[(s, nodes)] for s in SYSTEMS}
+        assert len(counts) == 1, f"match disagreement at N={nodes}: {counts}"
+
+    focus = {n: table[("focus", n)] for n in NODE_COUNTS}
+    at = lambda s: table[(s, 1600)]  # noqa: E731
+
+    # Shape 1: FOCUS is the cheapest system at scale.
+    for system in SYSTEMS:
+        if system != "focus":
+            assert at(system) > at("focus"), system
+
+    # Shape 2: the paper's reduction band - every baseline is reduced by
+    # >=60%, the broadcast-style ones by >=90% (paper: 86-95%).
+    for system in ("hierarchy", "rabbitmq-pub", "naive-push"):
+        assert 1 - focus[1600] / at(system) >= 0.60, system
+    for system in ("naive-pull", "rabbitmq-sub"):
+        assert 1 - focus[1600] / at(system) >= 0.85, system
+
+    # Shape 3: ordering - hierarchy is the best baseline, query-broadcast
+    # systems the worst (paper's ordering by reduction).
+    assert at("hierarchy") < at("naive-push")
+    assert at("naive-push") <= at("naive-pull") * 1.2
+    assert at("rabbitmq-sub") >= at("rabbitmq-pub")
+
+    # Shape 4: push traffic grows linearly with N; FOCUS grows sublinearly
+    # (its reports scale with membership, its pulls with matching groups).
+    node_growth = NODE_COUNTS[-1] / NODE_COUNTS[0]  # 16x
+    push_growth = table[("naive-push", 1600)] / table[("naive-push", 100)]
+    focus_growth = focus[1600] / max(focus[100], 0.1)
+    assert push_growth > 0.75 * node_growth
+    assert focus_growth < 0.6 * node_growth
+    assert push_growth > 2 * focus_growth

@@ -1,0 +1,131 @@
+"""Table II — the ONAP operational queries, end to end (§II-B, §V-B).
+
+Runs each category of Table II against a FOCUS deployment of provider-edge
+sites and vGMux instances, plus the full two-stage vCPE homing pipeline of
+Fig. 4 (which combines several of them with a location constraint).
+
+    | Sites            | all service-provider-owned cloud sites         |
+    | Services         | services of type vGMux                         |
+    | Site attributes  | sites with SR-IOV and KVM version >= 22        |
+    | Site capacity    | sites with tenant quota / bandwidth / vCPU/RAM |
+    | Service capacity | vGMuxes that can take N more sessions          |
+"""
+
+import pytest
+
+from repro.core.query import Query, QueryTerm
+from repro.onap import VcpeCustomer
+from repro.onap.deployment import build_onap_deployment
+
+NUM_SITES = 16
+
+
+def build():
+    deployment = build_onap_deployment(num_sites=NUM_SITES, muxes_per_site=2, seed=5)
+    deployment.sim.run_until(15.0)
+    return deployment
+
+
+TABLE2 = [
+    (
+        "Sites",
+        "provider-owned cloud sites",
+        Query([QueryTerm.exact("owner", "sp"), QueryTerm.exact("node_type", "site")]),
+    ),
+    (
+        "Services",
+        "services of type vGMux",
+        Query([QueryTerm.exact("service_type", "vGMux")]),
+    ),
+    (
+        "Site attributes",
+        "sites with SR-IOV and KVM >= 22",
+        Query(
+            [
+                QueryTerm.exact("node_type", "site"),
+                QueryTerm.exact("sriov", "yes"),
+                QueryTerm.at_least("kvm_version", 22.0),
+            ]
+        ),
+    ),
+    (
+        "Site capacity",
+        "sites with quota >= 50, >=10 Gbps upstream, >=64 vCPU, >=128GB RAM",
+        Query(
+            [
+                QueryTerm.at_least("tenant_quota", 50.0),
+                QueryTerm.at_least("upstream_mbps", 10000.0),
+                QueryTerm.at_least("site_vcpus", 64.0),
+                QueryTerm.at_least("site_ram_mb", 131072.0),
+            ],
+            freshness_ms=0.0,
+        ),
+    ),
+    (
+        "Service capacity",
+        "vGMuxes with >= 2500 spare sessions",
+        Query([QueryTerm.at_least("mux_capacity", 2500.0)], freshness_ms=0.0),
+    ),
+]
+
+
+def ground_truth(deployment, query) -> set:
+    expected = set()
+    for node_id, agent in deployment.agents.items():
+        if query.matches(agent.attributes()):
+            expected.add(node_id)
+    return expected
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_onap_queries(benchmark, record_rows):
+    def run():
+        deployment = build()
+        rows = []
+        for category, description, query in TABLE2:
+            responses = []
+            deployment.homing.client.query(query, responses.append)
+            deployment.sim.run_until(deployment.sim.now + 10.0)
+            response = responses[0]
+            expected = ground_truth(deployment, query)
+            rows.append(
+                {
+                    "category": category,
+                    "description": description,
+                    "matches": len(response.matches),
+                    "exact": set(response.node_ids) == expected,
+                    "expected": len(expected),
+                    "latency_ms": response.elapsed * 1000.0,
+                }
+            )
+        # The combined operation: Fig. 4's two-stage vCPE homing.
+        mux = deployment.muxes[0]
+        vpn = next(iter(mux.vlan_tags))
+        customer = VcpeCustomer(
+            "bench-customer", vpn, lat=mux.site.lat + 0.2, lon=mux.site.lon + 0.2,
+            max_site_distance_miles=300.0,
+        )
+        plans = []
+        started = deployment.sim.now
+        deployment.homing.home_vcpe(customer, plans.append)
+        deployment.sim.run_until(deployment.sim.now + 10.0)
+        homing = {
+            "ok": plans[0].ok,
+            "latency_ms": None,
+            "plan": plans[0],
+        }
+        return rows, homing
+
+    rows, homing = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_rows(
+        "Table II — ONAP operational queries over FOCUS (16 sites, 32 muxes)",
+        ["category", "query", "matches", "latency (ms)"],
+        [
+            (r["category"], r["description"], r["matches"], round(r["latency_ms"]))
+            for r in rows
+        ],
+    )
+    for r in rows:
+        assert r["exact"], f"{r['category']}: {r['matches']} vs {r['expected']}"
+        assert r["matches"] > 0, f"{r['category']} found nothing"
+    assert homing["ok"], f"vCPE homing failed: {homing['plan'].reason}"

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Failure injection: FOCUS under node crashes and a regional partition.
+
+Demonstrates the resilience mechanisms of §VII:
+
+* a crashed group member is detected by SWIM, removed from its groups'
+  member lists via representative reports, and queries keep working (the
+  router retries a different random member when its first pick is dead);
+* a representative crash leaves its group silent until the DGM re-appoints
+  a fresh reporter;
+* a short region partition does not poison membership: suspected members
+  refute suspicion when the partition heals.
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro.core.query import Query, QueryTerm
+from repro.harness import build_focus_cluster, drain, run_query
+
+
+def query_all(scenario):
+    return run_query(
+        scenario, Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=0.0)
+    )
+
+
+def main() -> None:
+    scenario = build_focus_cluster(48, seed=41, with_store=False)
+    drain(scenario, 15.0)
+    print(f"48 nodes up; baseline query finds "
+          f"{len(query_all(scenario).matches)} nodes.\n")
+
+    # --- 1. Crash a quarter of the fleet, no deregistration.
+    victims = scenario.agents[::4]
+    for agent in victims:
+        agent.stop()
+    print(f"Crashed {len(victims)} nodes abruptly.")
+    response = query_all(scenario)
+    print(f"  immediately after: query still answers with "
+          f"{len(response.matches)} nodes (router retried dead picks)")
+    drain(scenario, 30.0)  # SWIM suspicion -> dead -> reports prune them
+    response = query_all(scenario)
+    live = sum(1 for a in scenario.agents if a.running)
+    print(f"  after failure detection settles: {len(response.matches)} "
+          f"matches vs {live} live nodes\n")
+
+    # --- 2. Partition two regions from each other for a while.
+    print("Partitioning us-east-2 <-> us-west-2 for 20 seconds...")
+    scenario.network.partition_regions("us-east-2", "us-west-2")
+    drain(scenario, 20.0)
+    scenario.network.heal_regions("us-east-2", "us-west-2")
+    print("  healed; letting refutations propagate...")
+    drain(scenario, 30.0)
+    response = query_all(scenario)
+    print(f"  query after heal: {len(response.matches)} matches "
+          f"({live} live nodes) — no permanent false deaths\n")
+
+    # --- 3. Kill every representative of one group.
+    service = scenario.service
+    group = next(
+        g for g in service.dgm.groups.all_groups()
+        if g.representatives and len(g.members) > len(g.representatives)
+    )
+    reps = list(group.representatives)
+    for rep in reps:
+        agent = scenario.agent(rep)
+        if agent.running:
+            agent.stop()
+    print(f"Killed all {len(reps)} representative(s) of group {group.name}.")
+    drain(scenario, 45.0)  # stale-group check re-appoints a reporter
+    refreshed = service.dgm.groups.get(group.name)
+    print(f"  DGM re-appointed reps: {sorted(refreshed.representatives)}; "
+          f"group reported {len(refreshed.members)} members")
+
+
+if __name__ == "__main__":
+    main()

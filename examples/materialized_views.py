@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Materialized views with event triggers (§XII, implemented extension).
+
+A scheduler that keeps asking "which hosts are idle AND have 8 GB free AND
+50 GB of disk?" pays a multi-group directed pull every time. Registering the
+query as a *materialized view* creates a dedicated p2p group containing
+exactly the matching hosts; as hosts' load changes they join and leave the
+view on their own (the event trigger), so the standing answer is always one
+small group pull away.
+
+Run:  python examples/materialized_views.py
+"""
+
+from repro.core.query import Query, QueryTerm
+from repro.harness import build_focus_cluster, drain, run_query
+from repro.workloads import WorkloadDriver
+
+HOT_QUERY = Query(
+    [
+        QueryTerm.at_most("cpu_percent", 25.0),
+        QueryTerm.at_least("ram_mb", 8192.0),
+        QueryTerm.at_least("disk_gb", 50.0),
+    ],
+    freshness_ms=0.0,
+)
+
+
+def pull(scenario, label):
+    response = run_query(scenario, Query(HOT_QUERY.terms, freshness_ms=0.0))
+    print(f"  {label}: {len(response.matches)} hosts, "
+          f"{response.elapsed * 1000:.0f} ms, source={response.source}")
+    return response
+
+
+def main() -> None:
+    scenario = build_focus_cluster(128, seed=77, with_store=False)
+    drain(scenario, 15.0)
+    print("128 hosts up. The hot query: idle AND >=8GB RAM AND >=50GB disk.\n")
+
+    print("Directed pulls (no view yet):")
+    for _ in range(3):
+        pull(scenario, "pull")
+
+    print("\nRegistering the query as materialized view 'standby-pool'...")
+    created = []
+    scenario.app.client.create_view(
+        Query(HOT_QUERY.terms), created.append, view_id="standby-pool"
+    )
+    drain(scenario, 12.0)
+    view = scenario.service.views.views["standby-pool"]
+    print(f"  view group {view.group.name} formed with "
+          f"{len(view.group.all_node_ids())} members.\n")
+
+    print("Same query, now answered from the view group:")
+    for _ in range(3):
+        pull(scenario, "view")
+
+    print("\nEvent triggers: hosts churn in and out as their state changes...")
+    driver = WorkloadDriver(scenario.sim, scenario.agents, seed=3,
+                            tick_interval=1.0)
+    driver.start()
+    before = set(run_query(scenario, Query(HOT_QUERY.terms, freshness_ms=0.0)).node_ids)
+    drain(scenario, 30.0)
+    driver.stop()
+    drain(scenario, 10.0)
+    after_response = pull(scenario, "after 30 s of attribute churn")
+    after = set(after_response.node_ids)
+    joined, left = after - before, before - after
+    print(f"  membership drifted: {len(joined)} hosts joined the view, "
+          f"{len(left)} left — no query ever re-scanned the fleet.")
+
+    # Ground truth check: the view still answers exactly.
+    expected = {
+        a.node_id for a in scenario.agents
+        if Query(HOT_QUERY.terms).matches(a.attributes())
+    }
+    print(f"  exact vs ground truth: {after == expected}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""OpenStack VM placement: stock message-queue path vs FOCUS path (§IX).
+
+Builds two identical 24-host clouds. One reports host state through a
+RabbitMQ-style broker into the placement database (the stock Nova flow of
+Fig. 6); the other runs FOCUS node agents fed by a fake libvirt. The same
+burst of VM placement requests is driven through each scheduler.
+
+Things to look at in the output:
+
+* both paths place every VM while capacity lasts;
+* the scheduler's *retry rate* — stale database candidates refuse spawns
+  more often than FOCUS's directed-pull candidates;
+* what each central endpoint paid in bandwidth.
+
+Run:  python examples/openstack_placement.py
+"""
+
+from repro.openstack.cloud import build_openstack_cloud
+from repro.openstack.placement import PlacementRequest
+
+FLAVOR = {"MEMORY_MB": 4096, "DISK_GB": 10, "VCPU": 2}
+NUM_HOSTS = 64   # fits 256 VMs (4 per host by RAM and vCPUs)
+NUM_VMS = 260    # 4 more than capacity: the tail must be refused
+BURST_INTERVAL = 0.25
+
+
+def run_mode(mode: str):
+    cloud = build_openstack_cloud(NUM_HOSTS, mode=mode, seed=11)
+    # Count bytes crossing the central-site boundary (the Fig. 7a metric).
+    central = {"scheduler"}
+    central |= {"focus"} if mode == "focus" else {"nova-broker", "placement-db"}
+    crossing = {"bytes": 0}
+
+    def tap(message) -> None:
+        if (message.src in central) != (message.dst in central):
+            crossing["bytes"] += message.size
+
+    cloud.sim.run_until(12.0)  # hosts report in / groups converge
+    cloud.network.add_delivery_tap(tap)
+
+    outcomes = []
+    # A burst arriving faster than the stock path's 1 s push interval.
+    for index in range(NUM_VMS):
+        cloud.sim.schedule_at(
+            12.0 + index * BURST_INTERVAL,
+            cloud.scheduler.select_destinations,
+            PlacementRequest(FLAVOR),
+            outcomes.append,
+        )
+    cloud.sim.run_until(12.0 + NUM_VMS * BURST_INTERVAL + 15.0)
+
+    placed = sum(1 for o in outcomes if o.ok)
+    hosts_used = len({o.host for o in outcomes if o.ok})
+    window = cloud.sim.now - 12.0
+    return {
+        "mode": mode,
+        "placed": placed,
+        "failed": len(outcomes) - placed,
+        "hosts_used": hosts_used,
+        "retry_rate": cloud.scheduler.retry_rate(),
+        "vms_running": cloud.total_vms(),
+        "central_kbps": crossing["bytes"] / window / 1024.0,
+    }
+
+
+def main() -> None:
+    print(f"Placing {NUM_VMS} x {FLAVOR} VMs on {NUM_HOSTS} hosts, two ways...\n")
+    results = [run_mode("mq"), run_mode("focus")]
+    header = (f"{'backend':10} {'placed':>7} {'failed':>7} {'hosts':>6} "
+              f"{'spawn attempts':>15} {'central KB/s':>13}")
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        label = "nova+mq" if r["mode"] == "mq" else "focus"
+        print(f"{label:10} {r['placed']:>7} {r['failed']:>7} "
+              f"{r['hosts_used']:>6} {r['retry_rate']:>15.2f} "
+              f"{r['central_kbps']:>13.1f}")
+    print(
+        "\nBoth backends fill the cloud and correctly refuse the overflow; "
+        "the scheduler cannot tell them\napart because the integration seam "
+        "is §IX's one-liner (get_by_requests -> fc_obj.query)."
+        "\nAt this small scale the stock path's periodic push is cheap and "
+        "placement churn makes FOCUS's\npull traffic comparable — the "
+        "bandwidth separation is a scale effect: see "
+        "benchmarks/bench_fig7a_bandwidth.py,\nwhere the push firehose grows "
+        "with the fleet while FOCUS's directed pulls do not."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of FOCUS: Scalable Search Over Highly Dynamic Geo-distributed State.
+
+The package is organised as a set of substrates (``repro.sim``, ``repro.gossip``,
+``repro.store``, ``repro.mq``) underneath the FOCUS service itself
+(``repro.core``), baselines (``repro.baselines``), integrations
+(``repro.openstack``, ``repro.onap``) and workloads/harness utilities
+(``repro.workloads``, ``repro.harness``).
+
+Quickstart::
+
+    from repro.core.query import Query
+    from repro.harness import build_focus_cluster, drain, run_query
+
+    scenario = build_focus_cluster(64, seed=7)
+    drain(scenario, 15.0)  # registration + gossip group formation
+    response = run_query(
+        scenario,
+        Query.from_bounds({"ram_mb": (4096.0, None)}, limit=5, freshness_ms=0.0),
+    )
+    print(response.matches)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

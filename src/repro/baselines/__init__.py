@@ -1,0 +1,30 @@
+"""Node-finding baselines the paper compares against (§III, Fig. 2, Fig. 7).
+
+Every baseline implements the :class:`~repro.baselines.base.NodeFinder`
+interface so benchmarks can swap them uniformly:
+
+* :mod:`repro.baselines.push`      — naive periodic push to a central DB (Fig. 2a)
+* :mod:`repro.baselines.pull`      — naive on-demand pull from all nodes (Fig. 2b)
+* :mod:`repro.baselines.hierarchy` — aggregating layer (Fig. 2c) and
+  sub-setting managers (Fig. 2d)
+* :mod:`repro.baselines.rabbitmq`  — message-queue pub and sub configurations
+* :mod:`repro.baselines.focus_adapter` — FOCUS itself behind the same interface
+"""
+
+from repro.baselines.base import BaselineNode, NodeFinder
+from repro.baselines.focus_adapter import FocusFinder
+from repro.baselines.hierarchy import HierarchyFinder
+from repro.baselines.pull import NaivePullFinder
+from repro.baselines.push import NaivePushFinder
+from repro.baselines.rabbitmq import RabbitPubFinder, RabbitSubFinder
+
+__all__ = [
+    "BaselineNode",
+    "FocusFinder",
+    "HierarchyFinder",
+    "NaivePullFinder",
+    "NaivePushFinder",
+    "NodeFinder",
+    "RabbitPubFinder",
+    "RabbitSubFinder",
+]

@@ -1,0 +1,127 @@
+"""Common interface and node process for the baselines.
+
+A *baseline node* holds the same attribute state a FOCUS node agent would,
+and can answer direct state requests. What varies between baselines is who
+moves the state where (push vs pull vs broker) — that behaviour lives in
+each finder module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.query import Query
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+
+
+class BaselineNode(Process, RpcMixin):
+    """A node with attributes, queryable directly."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        node_id: str,
+        region: str,
+        *,
+        static: Optional[Dict[str, object]] = None,
+        dynamic: Optional[Dict[str, float]] = None,
+    ) -> None:
+        Process.__init__(self, sim, network, node_id, region)
+        self.init_rpc()
+        self.node_id = node_id
+        self.static = dict(static or {})
+        self.dynamic: Dict[str, float] = {k: float(v) for k, v in (dynamic or {}).items()}
+        self.serve("node.state", self._rpc_state)
+        self.serve("node.query", self._rpc_query)
+
+    def attributes(self) -> Dict[str, object]:
+        merged: Dict[str, object] = {"region": self.region}
+        merged.update(self.static)
+        merged.update(self.dynamic)
+        return merged
+
+    def set_attribute(self, name: str, value: float) -> None:
+        self.dynamic[name] = float(value)
+
+    def _rpc_state(self, params, respond, message):
+        return {"node": self.node_id, "attrs": self.attributes(), "region": self.region}
+
+    def _rpc_query(self, params, respond, message):
+        query = Query.from_json(params["query"])
+        attrs = self.attributes()
+        return {
+            "node": self.node_id,
+            "match": query.matches(attrs),
+            "attrs": attrs,
+            "region": self.region,
+        }
+
+
+class NodeFinder:
+    """Interface every node-finding system implements for the benches.
+
+    Implementations expose:
+
+    * :meth:`query` — asynchronous node-finding query;
+    * :meth:`server_addresses` — the central endpoints whose bandwidth
+      constitutes "bandwidth consumption at the query server" (Fig. 7a);
+    * ``nodes`` — the node population (for workload drivers).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, sim: Simulator, network: Network) -> None:
+        self.sim = sim
+        self.network = network
+        self.nodes: List[BaselineNode] = []
+        self._external_bytes = 0
+        self._accounting_installed = False
+
+    def query(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        raise NotImplementedError
+
+    def server_addresses(self) -> List[str]:
+        raise NotImplementedError
+
+    def install_accounting(self) -> None:
+        """Count bytes crossing the central-site boundary.
+
+        Fig. 7a measures "bandwidth consumption at the query server": traffic
+        between the central site (server, broker, store — whatever the
+        system centralises) and the node population. Traffic *inside* the
+        central site (e.g. broker to its co-located consumer) is loopback in
+        a real deployment and is excluded.
+        """
+        servers = set(self.server_addresses())
+
+        def tap(message) -> None:
+            if (message.src in servers) != (message.dst in servers):
+                self._external_bytes += message.size
+
+        self.network.add_delivery_tap(tap)
+        self._accounting_installed = True
+
+    def server_bandwidth_bytes(self) -> int:
+        if not self._accounting_installed:
+            raise RuntimeError(f"{self.name}: install_accounting() was not called")
+        return self._external_bytes
+
+    def reset_server_bandwidth(self) -> None:
+        self._external_bytes = 0
+
+
+def match_records(nodes_attrs: Dict[str, dict], query: Query) -> List[dict]:
+    """Filter a node_id -> attrs map through a query, honouring its limit."""
+    matches = []
+    for node_id, attrs in nodes_attrs.items():
+        if query.matches(attrs):
+            matches.append(
+                {"node": node_id, "attrs": attrs, "region": attrs.get("region", "")}
+            )
+            if query.limit is not None and len(matches) >= query.limit:
+                break
+    return matches

@@ -1,0 +1,47 @@
+"""FOCUS behind the common :class:`~repro.baselines.base.NodeFinder` interface.
+
+Lets the comparison benchmarks treat FOCUS exactly like every baseline:
+same query entry point, same central-site bandwidth accounting (the FOCUS
+server plus its store replicas form the central site; representative
+uploads, suggestions and directed pulls all cross the boundary and count).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.baselines.base import NodeFinder
+from repro.core.query import Query
+from repro.core.rest import QueryResponse
+from repro.harness.scenarios import FocusScenario
+
+
+class FocusFinder(NodeFinder):
+    """Adapter over a built :class:`~repro.harness.scenarios.FocusScenario`."""
+
+    name = "focus"
+
+    def __init__(self, scenario: FocusScenario) -> None:
+        super().__init__(scenario.sim, scenario.network)
+        self.scenario = scenario
+        self.nodes = scenario.agents  # NodeAgent also exposes set_attribute()
+        self.install_accounting()
+
+    def server_addresses(self) -> List[str]:
+        addresses = [self.scenario.service.address, self.scenario.app.address]
+        if self.scenario.store is not None:
+            addresses.extend(r.address for r in self.scenario.store.replicas)
+        return addresses
+
+    def query(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        def adapt(response: QueryResponse) -> None:
+            on_response(
+                {
+                    "matches": response.matches,
+                    "source": response.source,
+                    "timed_out": response.timed_out,
+                    "elapsed": response.elapsed,
+                }
+            )
+
+        self.scenario.app.query(query, adapt)

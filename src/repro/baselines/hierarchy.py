@@ -1,0 +1,282 @@
+"""Hierarchy baselines (Fig. 2c / 2d, §III-B2).
+
+Two variants:
+
+* **aggregating** — nodes push to a layer of aggregators that batch and
+  forward everything to the central server. The server sees fewer *messages*
+  but the same *bytes* (the paper's point about Fig. 2c).
+* **sub-setting** — nodes push only to their subset manager; the central
+  server pulls every manager on each query (Fig. 2d — the "static hierarchy"
+  line of Fig. 7a, with 16 managers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.base import BaselineNode, NodeFinder, match_records
+from repro.core.query import Query
+from repro.sim.loop import Simulator
+from repro.sim.network import Message, Network
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+
+
+class SubsetManager(Process, RpcMixin):
+    """A manager holding the state of its subset of nodes.
+
+    ``mode`` controls how much work the manager does per pull:
+
+    * ``"projection"`` (default) — the manager is a generic partitioned
+      store: it returns *every* row, projected to the queried attributes
+      (column pushdown but no predicate pushdown — the central server
+      evaluates the constraints). This is the Fig. 2d reading: subset
+      managers are stock cloud managers, not query engines.
+    * ``"predicate"`` — the manager also evaluates the query and returns
+      matching rows only (an ablation showing how much a smarter manager
+      layer closes the gap).
+    * ``"full"`` — all rows, all columns.
+    """
+
+    MODES = ("projection", "predicate", "full")
+
+    def __init__(self, sim: Simulator, network: Network, address: str, region: str,
+                 *, mode: str = "projection") -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        if mode not in self.MODES:
+            raise ValueError(f"unknown manager mode {mode!r}")
+        self.mode = mode
+        self.states: Dict[str, dict] = {}
+        self.on("state.push", self._on_push)
+        self.serve("mgr.query", self._rpc_query)
+
+    def _on_push(self, message: Message) -> None:
+        self.states[message.payload["node"]] = message.payload["attrs"]
+
+    def _rpc_query(self, params, respond, message):
+        query = Query.from_json(params["query"])
+        if self.mode == "predicate":
+            return {"matches": match_records(self.states, query)}
+        if self.mode == "projection":
+            wanted = [term.name for term in query.terms]
+            return {
+                "matches": [
+                    {
+                        "node": n,
+                        "attrs": {k: a[k] for k in wanted if k in a},
+                        "region": a.get("region", ""),
+                    }
+                    for n, a in self.states.items()
+                ]
+            }
+        return {
+            "matches": [
+                {"node": n, "attrs": a, "region": a.get("region", "")}
+                for n, a in self.states.items()
+            ]
+        }
+
+
+class Aggregator(Process):
+    """Fig. 2c middle layer: batches pushes and forwards them upstream."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        region: str,
+        upstream: str,
+        *,
+        flush_interval: float = 1.0,
+    ) -> None:
+        super().__init__(sim, network, address, region)
+        self.upstream = upstream
+        self.flush_interval = flush_interval
+        self._batch: List[dict] = []
+        self.on("state.push", self._on_push)
+
+    def _on_push(self, message: Message) -> None:
+        self._batch.append(message.payload)
+
+    def on_start(self) -> None:
+        self.every(self.flush_interval, self.flush, jitter=self.flush_interval * 0.2)
+
+    def flush(self) -> None:
+        if not self._batch:
+            return
+        # One message upstream, but it carries every node's state: the byte
+        # volume at the central server is unchanged.
+        self.send(self.upstream, "state.batch", {"updates": self._batch})
+        self._batch = []
+
+
+class HierarchyRoot(Process, RpcMixin):
+    """Central server for both hierarchy variants."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str, region: str,
+                 *, processing_delay: float = 0.04, timeout: float = 3.0) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.processing_delay = processing_delay
+        self.timeout = timeout
+        self.states: Dict[str, dict] = {}
+        self.manager_addresses: List[str] = []
+        self.on("state.batch", self._on_batch)
+
+    def _on_batch(self, message: Message) -> None:
+        for update in message.payload["updates"]:
+            self.states[update["node"]] = update["attrs"]
+
+    # Aggregating variant answers from the local database.
+    def answer_from_db(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        matches = match_records(self.states, query)
+        self.sim.schedule(
+            self.processing_delay,
+            on_response,
+            {"matches": matches, "source": "hierarchy-agg", "timed_out": False},
+        )
+
+    # Sub-setting variant pulls every manager.
+    def answer_from_managers(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        state = {"pending": len(self.manager_addresses), "matches": {}, "done": False}
+        if state["pending"] == 0:
+            self._finish(state, query, on_response)
+            return
+
+        def on_reply(result) -> None:
+            state["pending"] -= 1
+            for record in (result or {}).get("matches", ()):
+                # Managers may return unfiltered rows (projection mode);
+                # the constraints are evaluated here at the root.
+                if query.matches(record.get("attrs", {})):
+                    state["matches"][record["node"]] = record
+            self._advance(state, query, on_response)
+
+        def on_timeout() -> None:
+            state["pending"] -= 1
+            self._advance(state, query, on_response)
+
+        for address in self.manager_addresses:
+            self.call(
+                address,
+                "mgr.query",
+                {"query": query.to_json()},
+                on_reply=on_reply,
+                on_timeout=on_timeout,
+                timeout=self.timeout,
+            )
+
+    def _advance(self, state, query, on_response) -> None:
+        if state["done"]:
+            return
+        limit_reached = (
+            query.limit is not None and len(state["matches"]) >= query.limit
+        )
+        if state["pending"] == 0 or limit_reached:
+            self._finish(state, query, on_response)
+
+    def _finish(self, state, query, on_response) -> None:
+        state["done"] = True
+        matches = list(state["matches"].values())
+        if query.limit is not None:
+            matches = matches[: query.limit]
+        self.sim.schedule(
+            self.processing_delay,
+            on_response,
+            {"matches": matches, "source": "hierarchy-subset", "timed_out": False},
+        )
+
+
+class HierarchyPushNode(BaselineNode):
+    """Pushes to its assigned manager/aggregator."""
+
+    def __init__(self, *args, target: str, push_interval: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.target = target
+        self.push_interval = push_interval
+
+    def on_start(self) -> None:
+        self.every(self.push_interval, self.push, jitter=self.push_interval * 0.2)
+
+    def push(self) -> None:
+        self.send(
+            self.target,
+            "state.push",
+            {"node": self.node_id, "attrs": self.attributes()},
+        )
+
+
+class HierarchyFinder(NodeFinder):
+    """Either hierarchy variant, selected by ``mode``.
+
+    The paper's Fig. 7a uses ``mode="subset"`` with 16 managers (the average
+    number of group representatives reporting to FOCUS, fn. 4).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        num_nodes: int,
+        node_factory: Callable[[int, str], dict],
+        num_managers: int = 16,
+        mode: str = "subset",
+        push_interval: float = 1.0,
+        server_region: Optional[str] = None,
+        manager_mode: str = "projection",
+    ) -> None:
+        super().__init__(sim, network)
+        if mode not in ("subset", "aggregate"):
+            raise ValueError(f"unknown hierarchy mode {mode!r}")
+        self.mode = mode
+        self.name = f"hierarchy-{mode}"
+        regions = [r.name for r in network.topology.regions]
+        region = server_region or regions[0]
+        self.root = HierarchyRoot(sim, network, "hier-root", region)
+        self.root.start()
+        self.middle: List[Process] = []
+        for index in range(num_managers):
+            mid_region = regions[index % len(regions)]
+            if mode == "subset":
+                manager = SubsetManager(
+                    sim, network, f"hier-mgr-{index}", mid_region,
+                    mode=manager_mode,
+                )
+                self.root.manager_addresses.append(manager.address)
+            else:
+                manager = Aggregator(
+                    sim, network, f"hier-agg-{index}", mid_region, self.root.address,
+                    flush_interval=push_interval,
+                )
+            manager.start()
+            self.middle.append(manager)
+        for index in range(num_nodes):
+            node_region = regions[index % len(regions)]
+            spec = node_factory(index, node_region)
+            target = self.middle[index % len(self.middle)].address
+            node = HierarchyPushNode(
+                sim,
+                network,
+                spec["node_id"],
+                node_region,
+                static=spec.get("static"),
+                dynamic=spec.get("dynamic"),
+                target=target,
+                push_interval=push_interval,
+            )
+            node.start()
+            self.nodes.append(node)
+
+        self.install_accounting()
+
+    def query(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        if self.mode == "subset":
+            self.root.answer_from_managers(query, on_response)
+        else:
+            self.root.answer_from_db(query, on_response)
+
+    def server_addresses(self) -> List[str]:
+        return [self.root.address]

@@ -1,0 +1,122 @@
+"""Naive pull baseline (Fig. 2b).
+
+The server polls every node on each query. Results are perfectly fresh, but
+bandwidth and server load grow with the node count — the TCP-incast-prone
+pattern the paper rules out (§III-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.base import BaselineNode, NodeFinder
+from repro.core.query import Query
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+
+
+class PullServer(Process, RpcMixin):
+    """Queries all nodes on demand and aggregates their answers."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str, region: str,
+                 *, processing_delay: float = 0.04, timeout: float = 3.0) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.processing_delay = processing_delay
+        self.timeout = timeout
+        self.node_addresses: List[str] = []
+
+    def answer(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        state = {"pending": len(self.node_addresses), "matches": [], "done": False}
+        if state["pending"] == 0:
+            self._finish(state, query, on_response)
+            return
+
+        def on_reply(result) -> None:
+            state["pending"] -= 1
+            if result and result.get("match"):
+                state["matches"].append(
+                    {
+                        "node": result["node"],
+                        "attrs": result.get("attrs", {}),
+                        "region": result.get("region", ""),
+                    }
+                )
+            self._advance(state, query, on_response)
+
+        def on_timeout() -> None:
+            state["pending"] -= 1
+            self._advance(state, query, on_response)
+
+        for address in self.node_addresses:
+            self.call(
+                address,
+                "node.query",
+                {"query": query.to_json()},
+                on_reply=on_reply,
+                on_timeout=on_timeout,
+                timeout=self.timeout,
+            )
+
+    def _advance(self, state, query, on_response) -> None:
+        if state["done"]:
+            return
+        limit_reached = query.limit is not None and len(state["matches"]) >= query.limit
+        if state["pending"] == 0 or limit_reached:
+            self._finish(state, query, on_response)
+
+    def _finish(self, state, query, on_response) -> None:
+        state["done"] = True
+        matches = state["matches"]
+        if query.limit is not None:
+            matches = matches[: query.limit]
+        self.sim.schedule(
+            self.processing_delay,
+            on_response,
+            {"matches": matches, "source": "pull", "timed_out": False},
+        )
+
+
+class NaivePullFinder(NodeFinder):
+    """Builds the pull deployment."""
+
+    name = "naive-pull"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        num_nodes: int,
+        node_factory: Callable[[int, str], dict],
+        server_region: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, network)
+        regions = [r.name for r in network.topology.regions]
+        region = server_region or regions[0]
+        self.server = PullServer(sim, network, "pull-server", region)
+        self.server.start()
+        for index in range(num_nodes):
+            node_region = regions[index % len(regions)]
+            spec = node_factory(index, node_region)
+            node = BaselineNode(
+                sim,
+                network,
+                spec["node_id"],
+                node_region,
+                static=spec.get("static"),
+                dynamic=spec.get("dynamic"),
+            )
+            node.start()
+            self.nodes.append(node)
+            self.server.node_addresses.append(node.address)
+
+        self.install_accounting()
+
+    def query(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        self.server.answer(query, on_response)
+
+    def server_addresses(self) -> List[str]:
+        return [self.server.address]

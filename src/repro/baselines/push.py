@@ -1,0 +1,107 @@
+"""Naive push baseline (Fig. 2a).
+
+Every node periodically pushes its full state to a central server, which
+keeps the latest copy per node and answers queries from that (possibly
+stale) database. This is the OpenStack model minus the message queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.base import BaselineNode, NodeFinder, match_records
+from repro.core.query import Query
+from repro.sim.loop import Simulator
+from repro.sim.network import Message, Network
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+
+
+class CentralStateServer(Process, RpcMixin):
+    """Central DB holding each node's last pushed state."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str, region: str,
+                 *, processing_delay: float = 0.04) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.processing_delay = processing_delay
+        self.states: Dict[str, dict] = {}
+        self.state_times: Dict[str, float] = {}
+        self.on("state.push", self._on_push)
+
+    def _on_push(self, message: Message) -> None:
+        payload = message.payload
+        self.states[payload["node"]] = payload["attrs"]
+        self.state_times[payload["node"]] = self.sim.now
+
+    def answer(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        matches = match_records(self.states, query)
+        self.sim.schedule(
+            self.processing_delay,
+            on_response,
+            {"matches": matches, "source": "push-db", "timed_out": False},
+        )
+
+
+class PushNode(BaselineNode):
+    """A node that pushes its state every ``push_interval`` seconds."""
+
+    def __init__(self, *args, server: str, push_interval: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.server = server
+        self.push_interval = push_interval
+
+    def on_start(self) -> None:
+        self.every(self.push_interval, self.push, jitter=self.push_interval * 0.2)
+
+    def push(self) -> None:
+        self.send(
+            self.server,
+            "state.push",
+            {"node": self.node_id, "attrs": self.attributes()},
+        )
+
+
+class NaivePushFinder(NodeFinder):
+    """Builds the push deployment and serves queries from the central DB."""
+
+    name = "naive-push"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        num_nodes: int,
+        node_factory: Callable[[int, str], dict],
+        push_interval: float = 1.0,
+        server_region: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, network)
+        regions = [r.name for r in network.topology.regions]
+        region = server_region or regions[0]
+        self.server = CentralStateServer(sim, network, "push-server", region)
+        self.server.start()
+        for index in range(num_nodes):
+            node_region = regions[index % len(regions)]
+            spec = node_factory(index, node_region)
+            node = PushNode(
+                sim,
+                network,
+                spec["node_id"],
+                node_region,
+                static=spec.get("static"),
+                dynamic=spec.get("dynamic"),
+                server=self.server.address,
+                push_interval=push_interval,
+            )
+            node.start()
+            self.nodes.append(node)
+
+        self.install_accounting()
+
+    def query(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        self.server.answer(query, on_response)
+
+    def server_addresses(self) -> List[str]:
+        return [self.server.address]

@@ -1,0 +1,295 @@
+"""Message-queue baselines (Fig. 7a's "RabbitMQ (pub)" and "RabbitMQ (sub)").
+
+* **pub** — nodes periodically publish their state through the broker; a
+  consumer co-located with the query server maintains the database queries
+  are answered from. This is the OpenStack model (§III-A).
+* **sub** — nodes subscribe for queries; the server publishes each query to
+  a fanout exchange, every node evaluates it and publishes its answer to a
+  response queue the server consumes.
+
+The broker uses the CPU model from :mod:`repro.mq.broker`, so Fig. 7b's
+latency blow-up past ~1k nodes emerges from broker saturation rather than
+being scripted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.base import BaselineNode, NodeFinder, match_records
+from repro.core.query import Query
+from repro.mq.broker import Broker, BrokerConfig
+from repro.sim.loop import Simulator
+from repro.sim.network import Message, Network, approx_size
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+
+STATE_QUEUE = "node-state"
+QUERY_EXCHANGE = "queries"
+RESPONSE_QUEUE = "query-responses"
+
+
+class PublishingNode(BaselineNode):
+    """Publishes its state through the broker every ``interval`` seconds."""
+
+    def __init__(self, *args, broker: str, interval: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.broker = broker
+        self.interval = interval
+
+    def on_start(self) -> None:
+        self.send(self.broker, "mq.connect", {})
+        self.every(self.interval, self.publish, jitter=self.interval * 0.2)
+
+    def publish(self) -> None:
+        body = {"node": self.node_id, "attrs": self.attributes()}
+        self.send(
+            self.broker,
+            "mq.publish",
+            {
+                "queue": STATE_QUEUE,
+                "body": body,
+                "size": approx_size(body),
+                "sent_at": self.sim.now,
+            },
+        )
+
+
+class SubscribingNode(BaselineNode):
+    """Receives queries via its broker queue and publishes its answers."""
+
+    def __init__(self, *args, broker: str, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.broker = broker
+        self.queue = f"q-{self.node_id}"
+
+    def on_start(self) -> None:
+        self.send(self.broker, "mq.bind", {"exchange": QUERY_EXCHANGE, "queue": self.queue})
+        self.send(self.broker, "mq.subscribe", {"queue": self.queue})
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind == "mq.deliver":
+            body = message.payload["body"]
+            query = Query.from_json(body["query"])
+            attrs = self.attributes()
+            answer = {
+                "qid": body["qid"],
+                "node": self.node_id,
+                "match": query.matches(attrs),
+                "attrs": attrs,
+                "region": self.region,
+            }
+            self.send(
+                self.broker,
+                "mq.publish",
+                {
+                    "queue": RESPONSE_QUEUE,
+                    "body": answer,
+                    "size": approx_size(answer),
+                    "sent_at": self.sim.now,
+                },
+            )
+            return
+        super().handle_message(message)
+
+
+class _MqQueryServer(Process, RpcMixin):
+    """Query server for both MQ modes (db for pub, aggregator for sub)."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str, region: str,
+                 broker: str, *, processing_delay: float = 0.04, timeout: float = 3.0) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.broker = broker
+        self.processing_delay = processing_delay
+        self.timeout = timeout
+        self.states: Dict[str, dict] = {}
+        self._qid = itertools.count()
+        self._pending: Dict[int, dict] = {}
+        self.expected_nodes = 0
+
+    # ---------------------------------------------------------------- pub path
+    def subscribe_state(self) -> None:
+        self.send(self.broker, "mq.subscribe", {"queue": STATE_QUEUE})
+
+    def subscribe_responses(self) -> None:
+        self.send(self.broker, "mq.subscribe", {"queue": RESPONSE_QUEUE})
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind == "mq.deliver":
+            queue = message.payload["queue"]
+            body = message.payload["body"]
+            if queue == STATE_QUEUE:
+                self.states[body["node"]] = body["attrs"]
+            elif queue == RESPONSE_QUEUE:
+                self._on_query_answer(body)
+            return
+        super().handle_message(message)
+
+    def answer_from_db(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        matches = match_records(self.states, query)
+        self.sim.schedule(
+            self.processing_delay,
+            on_response,
+            {"matches": matches, "source": "mq-pub", "timed_out": False},
+        )
+
+    # ---------------------------------------------------------------- sub path
+    def answer_via_broadcast(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        qid = next(self._qid)
+        state = {
+            "query": query,
+            "matches": {},
+            "answers": 0,
+            "on_response": on_response,
+            "done": False,
+        }
+        self._pending[qid] = state
+        body = {"qid": qid, "query": query.to_json()}
+        self.send(
+            self.broker,
+            "mq.publish",
+            {
+                "exchange": QUERY_EXCHANGE,
+                "body": body,
+                "size": approx_size(body),
+                "sent_at": self.sim.now,
+            },
+        )
+        self.after(self.timeout, self._query_deadline, qid)
+
+    def _on_query_answer(self, body: dict) -> None:
+        state = self._pending.get(body["qid"])
+        if state is None or state["done"]:
+            return
+        state["answers"] += 1
+        if body.get("match"):
+            state["matches"][body["node"]] = {
+                "node": body["node"],
+                "attrs": body.get("attrs", {}),
+                "region": body.get("region", ""),
+            }
+        query = state["query"]
+        limit_reached = (
+            query.limit is not None and len(state["matches"]) >= query.limit
+        )
+        if limit_reached or state["answers"] >= self.expected_nodes:
+            self._finish(body["qid"], timed_out=False)
+
+    def _query_deadline(self, qid: int) -> None:
+        if qid in self._pending and not self._pending[qid]["done"]:
+            self._finish(qid, timed_out=True)
+
+    def _finish(self, qid: int, *, timed_out: bool) -> None:
+        state = self._pending.pop(qid)
+        state["done"] = True
+        query = state["query"]
+        matches = list(state["matches"].values())
+        if query.limit is not None:
+            matches = matches[: query.limit]
+        self.sim.schedule(
+            self.processing_delay,
+            state["on_response"],
+            {"matches": matches, "source": "mq-sub", "timed_out": timed_out},
+        )
+
+
+class _RabbitFinderBase(NodeFinder):
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        server_region: Optional[str] = None,
+        broker_config: Optional[BrokerConfig] = None,
+    ) -> None:
+        super().__init__(sim, network)
+        regions = [r.name for r in network.topology.regions]
+        self.region = server_region or regions[0]
+        self.broker = Broker(sim, network, "mq-broker", self.region, broker_config)
+        self.broker.start()
+        self.server = _MqQueryServer(
+            sim, network, "mq-server", self.region, self.broker.address
+        )
+        self.server.start()
+
+    def server_addresses(self) -> List[str]:
+        return [self.broker.address, self.server.address]
+
+
+class RabbitPubFinder(_RabbitFinderBase):
+    """Nodes publish state at 1/s; queries answered from the consumer DB."""
+
+    name = "rabbitmq-pub"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        num_nodes: int,
+        node_factory: Callable[[int, str], dict],
+        publish_interval: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, network, **kwargs)
+        self.server.subscribe_state()
+        regions = [r.name for r in network.topology.regions]
+        for index in range(num_nodes):
+            node_region = regions[index % len(regions)]
+            spec = node_factory(index, node_region)
+            node = PublishingNode(
+                sim,
+                network,
+                spec["node_id"],
+                node_region,
+                static=spec.get("static"),
+                dynamic=spec.get("dynamic"),
+                broker=self.broker.address,
+                interval=publish_interval,
+            )
+            node.start()
+            self.nodes.append(node)
+        self.install_accounting()
+
+    def query(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        self.server.answer_from_db(query, on_response)
+
+
+class RabbitSubFinder(_RabbitFinderBase):
+    """Queries broadcast to all nodes via the broker; answers flow back."""
+
+    name = "rabbitmq-sub"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        num_nodes: int,
+        node_factory: Callable[[int, str], dict],
+        **kwargs,
+    ) -> None:
+        super().__init__(sim, network, **kwargs)
+        self.server.subscribe_responses()
+        regions = [r.name for r in network.topology.regions]
+        for index in range(num_nodes):
+            node_region = regions[index % len(regions)]
+            spec = node_factory(index, node_region)
+            node = SubscribingNode(
+                sim,
+                network,
+                spec["node_id"],
+                node_region,
+                static=spec.get("static"),
+                dynamic=spec.get("dynamic"),
+                broker=self.broker.address,
+            )
+            node.start()
+            self.nodes.append(node)
+        self.server.expected_nodes = num_nodes
+        self.install_accounting()
+
+    def query(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        self.server.answer_via_broadcast(query, on_response)

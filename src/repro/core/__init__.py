@@ -1,0 +1,51 @@
+"""The FOCUS service: attribute-grouped, gossip-coordinated node search.
+
+Components (mirroring §VIII of the paper):
+
+* :mod:`repro.core.attributes` — attribute schema (static vs dynamic, cutoffs)
+* :mod:`repro.core.query`      — the query structure (§V-A)
+* :mod:`repro.core.naming`     — deterministic group naming (§VIII-A2)
+* :mod:`repro.core.groups`     — group metadata, fork and geo-split decisions
+* :mod:`repro.core.cache`      — query response cache with freshness (§VI)
+* :mod:`repro.core.service`    — the FOCUS server: Registrar + Dynamic Groups
+  Manager + Query Router behind northbound/southbound APIs
+* :mod:`repro.core.agent`      — the node agent: node manager + one p2p
+  (Serf) agent per dynamic attribute group (§VIII-B)
+* :mod:`repro.core.rest`       — application-side client (REST-equivalent)
+"""
+
+from repro.core.attributes import (
+    AttributeKind,
+    AttributeSchema,
+    AttributeSpec,
+    openstack_schema,
+)
+from repro.core.cache import QueryCache
+from repro.core.config import FocusConfig
+from repro.core.groups import GroupInfo, GroupTable
+from repro.core.naming import group_base, group_name, groups_covering, parse_group_name
+from repro.core.query import Query, QueryTerm
+from repro.core.rest import FocusClient, QueryResponse
+from repro.core.service import FocusService
+from repro.core.agent import NodeAgent
+
+__all__ = [
+    "AttributeKind",
+    "AttributeSchema",
+    "AttributeSpec",
+    "FocusClient",
+    "FocusConfig",
+    "FocusService",
+    "GroupInfo",
+    "GroupTable",
+    "NodeAgent",
+    "Query",
+    "QueryCache",
+    "QueryResponse",
+    "QueryTerm",
+    "group_base",
+    "group_name",
+    "groups_covering",
+    "openstack_schema",
+    "parse_group_name",
+]

@@ -1,0 +1,153 @@
+"""Attribute schema: static vs dynamic attributes and group cutoffs.
+
+Nodes have attributes that are *static* (values never change, e.g. CPU
+architecture — kept in the FOCUS data store) or *dynamic* (values change over
+time, e.g. free memory — managed via p2p groups). Each dynamic attribute has
+a *cutoff*: the width of the value range covered by one attribute group
+(§VII, §VIII-A2). E.g. with a disk cutoff of 10, group ``disk.10`` holds
+nodes with 10–20 GB free.
+
+The paper's evaluation schema (§X-A) is exposed as :func:`openstack_schema`:
+
+    {CPU usage: 25%, vCPUs: 2, RAM_MB: 2048 MB, disk: 5 GB}
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.errors import GroupError
+
+
+class AttributeKind(str, enum.Enum):
+    """Whether an attribute's value can change over time (SS V-A)."""
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+
+
+#: §XII translation/normalization: maps a raw source value (possibly in a
+#: foreign unit or encoding) to the schema's canonical numeric form.
+Normalizer = Callable[[object], float]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declaration of one queryable attribute.
+
+    ``cutoff`` is required for dynamic attributes (group width) and must be
+    absent for static ones. ``min_value``/``max_value`` bound the legal value
+    range and drive workload generators. ``normalizer`` (§XII) translates
+    heterogeneous source values into the canonical unit before they touch
+    grouping or matching — e.g. a node agent reading free memory in bytes
+    feeding a schema that groups by megabytes.
+    """
+
+    name: str
+    kind: AttributeKind
+    cutoff: Optional[float] = None
+    min_value: float = 0.0
+    max_value: float = float("inf")
+    unit: str = ""
+    normalizer: Optional[Normalizer] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == AttributeKind.DYNAMIC:
+            if self.cutoff is None or self.cutoff <= 0:
+                raise GroupError(
+                    f"dynamic attribute {self.name!r} needs a positive cutoff"
+                )
+        elif self.cutoff is not None:
+            raise GroupError(f"static attribute {self.name!r} cannot have a cutoff")
+        if self.min_value > self.max_value:
+            raise GroupError(f"attribute {self.name!r} has min > max")
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.kind == AttributeKind.DYNAMIC
+
+    def clamp(self, value: float) -> float:
+        return max(self.min_value, min(self.max_value, value))
+
+    def normalize(self, value: object) -> float:
+        """Translate a raw source value into the canonical unit."""
+        if self.normalizer is not None:
+            return float(self.normalizer(value))
+        return float(value)  # type: ignore[arg-type]
+
+
+class AttributeSchema:
+    """The set of attributes a FOCUS deployment knows about."""
+
+    def __init__(self, specs: Optional[Dict[str, AttributeSpec]] = None) -> None:
+        self._specs: Dict[str, AttributeSpec] = dict(specs or {})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def add(self, spec: AttributeSpec) -> None:
+        if spec.name in self._specs:
+            raise GroupError(f"attribute {spec.name!r} already declared")
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> AttributeSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise GroupError(f"unknown attribute {name!r}") from None
+
+    def maybe_get(self, name: str) -> Optional[AttributeSpec]:
+        return self._specs.get(name)
+
+    def dynamic(self) -> Dict[str, AttributeSpec]:
+        return {n: s for n, s in self._specs.items() if s.is_dynamic}
+
+    def static(self) -> Dict[str, AttributeSpec]:
+        return {n: s for n, s in self._specs.items() if not s.is_dynamic}
+
+    def cutoffs(self) -> Dict[str, float]:
+        return {n: s.cutoff for n, s in self._specs.items() if s.cutoff is not None}
+
+    def normalize_value(self, name: str, value: object) -> object:
+        """Apply the attribute's normalizer, if any; pass through otherwise."""
+        spec = self._specs.get(name)
+        if spec is None or spec.normalizer is None:
+            return value
+        return spec.normalize(value)
+
+
+def openstack_schema() -> AttributeSchema:
+    """The paper's evaluation schema (§X-A) plus common static attributes.
+
+    Value ranges mirror the paper's testbed hosts (EC2 VMs with 4 vCPUs and
+    16 GB RAM, §X-A), which with the paper's cutoffs yields a few dozen group
+    families — and therefore the ~150-member average group size the paper
+    reports at scale (§X-C).
+    """
+    schema = AttributeSchema()
+    schema.add(
+        AttributeSpec("cpu_percent", AttributeKind.DYNAMIC, cutoff=25.0,
+                      min_value=0.0, max_value=100.0, unit="%")
+    )
+    schema.add(
+        AttributeSpec("vcpus", AttributeKind.DYNAMIC, cutoff=2.0,
+                      min_value=0.0, max_value=8.0)
+    )
+    schema.add(
+        AttributeSpec("ram_mb", AttributeKind.DYNAMIC, cutoff=2048.0,
+                      min_value=0.0, max_value=16384.0, unit="MB")
+    )
+    schema.add(
+        AttributeSpec("disk_gb", AttributeKind.DYNAMIC, cutoff=5.0,
+                      min_value=0.0, max_value=100.0, unit="GB")
+    )
+    for name in ("arch", "cores", "region", "site", "service_type", "project_id"):
+        schema.add(AttributeSpec(name, AttributeKind.STATIC))
+    return schema

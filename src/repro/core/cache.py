@@ -1,0 +1,69 @@
+"""Query response cache with freshness semantics (§VI).
+
+Checking the cache is the first step in processing a query. Each cached
+entry stores the response and the time it was fetched from the groups; a
+query's ``freshness`` parameter (milliseconds) bounds how old a cached
+response may be. Freshness zero means "as close to real time as possible" —
+it always bypasses the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from repro.core.query import Query
+
+
+class CacheEntry:
+    """One cached response and the time it was fetched from the groups."""
+    __slots__ = ("matches", "fetched_at")
+
+    def __init__(self, matches: List[dict], fetched_at: float) -> None:
+        self.matches = matches
+        self.fetched_at = fetched_at
+
+
+class QueryCache:
+    """LRU cache keyed by the query's canonical form."""
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, query: Query, now: float) -> Optional[List[dict]]:
+        """A cached response satisfying the query's freshness, or ``None``."""
+        if query.freshness_ms <= 0:
+            self.misses += 1
+            return None
+        entry = self._entries.get(query.cache_key())
+        if entry is None:
+            self.misses += 1
+            return None
+        age_ms = (now - entry.fetched_at) * 1000.0
+        if age_ms > query.freshness_ms:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(query.cache_key())
+        self.hits += 1
+        return entry.matches
+
+    def store(self, query: Query, matches: List[dict], now: float) -> None:
+        key = query.cache_key()
+        self._entries[key] = CacheEntry(matches, now)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def invalidate_all(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

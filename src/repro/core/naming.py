@@ -1,0 +1,111 @@
+"""Deterministic group naming (§VIII-A2).
+
+Group names are a pure function of ``(attribute, value, cutoff)`` plus an
+optional region qualifier added when a group family has been geo-split
+(§VII). With a disk cutoff of 10, a node with 13 GB free maps to group
+``disk_gb.10``, which holds nodes with 10–20 GB free. The geo-split variant
+is ``disk_gb.10@us-west-2``.
+
+Because the function is deterministic, the Registrar, the DGM and the Query
+Router all derive the same name independently — there is no name-allocation
+coordination anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.errors import GroupError
+
+
+def group_base(value: float, cutoff: float) -> float:
+    """The lower edge of the cutoff-aligned range containing ``value``."""
+    if cutoff <= 0:
+        raise GroupError(f"cutoff must be positive, got {cutoff}")
+    import math
+
+    base = math.floor(value / cutoff) * cutoff
+    # Normalise -0.0 and floating noise at range edges.
+    if base == 0:
+        base = 0.0
+    return base
+
+
+def _format_number(value: float) -> str:
+    """Render 2048.0 as '2048' and 0.5 as '0.5' for stable names."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def group_name(
+    attribute: str,
+    value: float,
+    cutoff: float,
+    *,
+    region: Optional[str] = None,
+) -> str:
+    """Deterministic name of the group containing ``value``."""
+    if "." in attribute or "@" in attribute:
+        raise GroupError(f"attribute name {attribute!r} may not contain '.' or '@'")
+    base = group_base(value, cutoff)
+    name = f"{attribute}.{_format_number(base)}"
+    if region is not None:
+        name = f"{name}@{region}"
+    return name
+
+
+class ParsedGroupName(NamedTuple):
+    attribute: str
+    base: float
+    region: Optional[str]
+
+
+def parse_group_name(name: str) -> ParsedGroupName:
+    """Inverse of :func:`group_name` (without the cutoff, which is config)."""
+    body, _, region = name.partition("@")
+    attribute, separator, base_text = body.partition(".")
+    if not separator or not attribute:
+        raise GroupError(f"malformed group name {name!r}")
+    try:
+        base = float(base_text)
+    except ValueError:
+        raise GroupError(f"malformed group base in {name!r}") from None
+    return ParsedGroupName(attribute, base, region or None)
+
+
+def group_range(base: float, cutoff: float) -> Tuple[float, float]:
+    """The half-open value range ``[base, base + cutoff)`` of a group."""
+    return base, base + cutoff
+
+
+def groups_covering(
+    attribute: str,
+    lower: Optional[float],
+    upper: Optional[float],
+    cutoff: float,
+    *,
+    value_min: float = 0.0,
+    value_max: float = float("inf"),
+    max_groups: int = 1024,
+) -> List[str]:
+    """Names of every group whose range intersects ``[lower, upper]``.
+
+    Open bounds are clamped to the attribute's declared value range; an
+    unbounded attribute with an open upper bound enumerates up to
+    ``max_groups`` groups above the lower bound (the router intersects this
+    with groups that actually exist, so over-enumeration is harmless).
+    """
+    effective_lower = value_min if lower is None else max(lower, value_min)
+    effective_upper = value_max if upper is None else min(upper, value_max)
+    if effective_upper < effective_lower:
+        return []
+    start = group_base(effective_lower, cutoff)
+    names = []
+    base = start
+    while base <= effective_upper:
+        names.append(group_name(attribute, base, cutoff))
+        base += cutoff
+        if len(names) >= max_groups:
+            break
+    return names

@@ -1,0 +1,189 @@
+"""The FOCUS query structure (§V-A).
+
+A query is a list of queryable attribute terms. Each term has a name, an
+upper bound and a lower bound (equal bounds express exact match; ``None``
+leaves a side unbounded, supporting lesser/greater-than). The query carries a
+``limit`` (maximum responses) and a ``freshness`` in milliseconds — zero
+demands results as close to real time as possible (bypassing the cache).
+
+Static attributes may also match by equality on strings (e.g.
+``arch == "x86"``); numeric bounds and string equality are both supported.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import QueryError
+
+Value = Union[float, int, str]
+
+
+class QueryTerm:
+    """One attribute constraint.
+
+    For numeric attributes use ``lower``/``upper`` (inclusive). For string
+    attributes use ``equals``.
+    """
+
+    __slots__ = ("name", "lower", "upper", "equals")
+
+    def __init__(
+        self,
+        name: str,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+        equals: Optional[str] = None,
+    ) -> None:
+        if not name:
+            raise QueryError("term needs an attribute name")
+        if equals is not None and (lower is not None or upper is not None):
+            raise QueryError(f"term {name!r}: equals excludes numeric bounds")
+        if equals is None and lower is None and upper is None:
+            raise QueryError(f"term {name!r}: needs at least one bound")
+        if lower is not None and upper is not None and lower > upper:
+            raise QueryError(f"term {name!r}: lower {lower} > upper {upper}")
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+        self.equals = equals
+
+    @classmethod
+    def exact(cls, name: str, value: Value) -> "QueryTerm":
+        """Exact match: both bounds equal (numeric) or string equality."""
+        if isinstance(value, str):
+            return cls(name, equals=value)
+        return cls(name, lower=float(value), upper=float(value))
+
+    @classmethod
+    def at_least(cls, name: str, value: float) -> "QueryTerm":
+        return cls(name, lower=float(value))
+
+    @classmethod
+    def at_most(cls, name: str, value: float) -> "QueryTerm":
+        return cls(name, upper=float(value))
+
+    def matches(self, value: object) -> bool:
+        """Whether a node's attribute value satisfies this term."""
+        if value is None:
+            return False
+        if self.equals is not None:
+            return value == self.equals
+        try:
+            number = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return False
+        if self.lower is not None and number < self.lower:
+            return False
+        if self.upper is not None and number > self.upper:
+            return False
+        return True
+
+    def to_json(self) -> Dict[str, object]:
+        data: Dict[str, object] = {"name": self.name}
+        if self.lower is not None:
+            data["lower"] = self.lower
+        if self.upper is not None:
+            data["upper"] = self.upper
+        if self.equals is not None:
+            data["equals"] = self.equals
+        return data
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "QueryTerm":
+        return cls(
+            str(data["name"]),
+            lower=data.get("lower"),  # type: ignore[arg-type]
+            upper=data.get("upper"),  # type: ignore[arg-type]
+            equals=data.get("equals"),  # type: ignore[arg-type]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        if self.equals is not None:
+            return f"<{self.name} == {self.equals!r}>"
+        return f"<{self.lower} <= {self.name} <= {self.upper}>"
+
+
+class Query:
+    """A multi-term query with ``limit`` and ``freshness`` (ms)."""
+
+    __slots__ = ("terms", "limit", "freshness_ms")
+
+    def __init__(
+        self,
+        terms: Iterable[QueryTerm],
+        *,
+        limit: Optional[int] = None,
+        freshness_ms: float = 0.0,
+    ) -> None:
+        self.terms = list(terms)
+        if not self.terms:
+            raise QueryError("query needs at least one term")
+        names = [t.name for t in self.terms]
+        if len(set(names)) != len(names):
+            raise QueryError(f"duplicate attribute terms in query: {names}")
+        if limit is not None and limit <= 0:
+            raise QueryError(f"limit must be positive, got {limit}")
+        if freshness_ms < 0:
+            raise QueryError(f"freshness must be >= 0 ms, got {freshness_ms}")
+        self.limit = limit
+        self.freshness_ms = freshness_ms
+
+    @classmethod
+    def from_bounds(
+        cls,
+        bounds: Dict[str, object],
+        *,
+        limit: Optional[int] = None,
+        freshness_ms: float = 0.0,
+    ) -> "Query":
+        """Convenience constructor.
+
+        ``bounds`` maps attribute name to either ``(lower, upper)`` (use
+        ``None`` for an open side), a single number (exact match), or a
+        string (equality).
+        """
+        terms = []
+        for name, bound in bounds.items():
+            if isinstance(bound, tuple):
+                lower, upper = bound
+                terms.append(QueryTerm(name, lower=lower, upper=upper))
+            else:
+                terms.append(QueryTerm.exact(name, bound))  # type: ignore[arg-type]
+        return cls(terms, limit=limit, freshness_ms=freshness_ms)
+
+    def term(self, name: str) -> Optional[QueryTerm]:
+        for term in self.terms:
+            if term.name == name:
+                return term
+        return None
+
+    def matches(self, attributes: Dict[str, object]) -> bool:
+        """Whether a node's full attribute dict satisfies every term."""
+        return all(term.matches(attributes.get(term.name)) for term in self.terms)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "terms": [t.to_json() for t in self.terms],
+            "limit": self.limit,
+            "freshness_ms": self.freshness_ms,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "Query":
+        return cls(
+            [QueryTerm.from_json(t) for t in data["terms"]],  # type: ignore[union-attr]
+            limit=data.get("limit"),  # type: ignore[arg-type]
+            freshness_ms=float(data.get("freshness_ms", 0.0)),  # type: ignore[arg-type]
+        )
+
+    def cache_key(self) -> str:
+        """Canonical key ignoring freshness (freshness is checked at lookup)."""
+        terms = sorted(
+            (t.name, t.lower, t.upper, t.equals) for t in self.terms
+        )
+        return json.dumps({"terms": terms, "limit": self.limit}, sort_keys=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Query {self.terms} limit={self.limit} fresh={self.freshness_ms}ms>"

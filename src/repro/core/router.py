@@ -1,0 +1,440 @@
+"""The Query Router (§VIII-A3) — directed pulling (§VI).
+
+Processing order for a query:
+
+1. **cache** — first step; a hit answers immediately if it satisfies the
+   query's freshness bound.
+2. **static path** — queries touching only static attributes are answered
+   from the store (one table lookup: the smallest static-attribute table).
+3. **directed pull** — otherwise the router picks the dynamic term whose
+   candidate groups contain the fewest nodes (the "smallest group"
+   optimisation for multi-constraint queries), sends the query to one random
+   member per candidate group (load-balanced routing), includes nodes from
+   the transition table for inclusiveness, aggregates, and answers.
+4. **delegation** — under heavy load the router returns the group candidate
+   lists instead of fanning out itself, and the application pulls directly;
+   delegated responses are not cached (§VI).
+
+A configured timeout bounds the whole operation (§VIII-A3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.groups import GroupInfo
+from repro.core.query import Query
+from repro.core.registrar import static_table_name
+from repro.errors import QueryError
+from repro.sim.rpc import DEFERRED
+
+
+class ActiveQuery:
+    """State of one in-flight dynamic query."""
+
+    def __init__(self, query: Query, respond, started_at: float) -> None:
+        self.query = query
+        self.respond = respond
+        self.started_at = started_at
+        self.matches: Dict[str, dict] = {}
+        self.source = "groups"
+        self.pending_groups: Set[str] = set()
+        self.remaining_plan: List[GroupInfo] = []
+        self.pending_transitions = 0
+        self.groups_queried = 0
+        self.finished = False
+        self.retried: Set[str] = set()
+
+    @property
+    def limit_reached(self) -> bool:
+        return self.query.limit is not None and len(self.matches) >= self.query.limit
+
+    def trimmed_matches(self) -> List[dict]:
+        matches = list(self.matches.values())
+        if self.query.limit is not None:
+            matches = matches[: self.query.limit]
+        return matches
+
+
+class QueryRouter:
+    """Query-processing component of the FOCUS service."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.outstanding = 0
+
+    # ----------------------------------------------------------------- entry
+    def handle(self, params: Dict[str, object], respond) -> object:
+        query = Query.from_json(params["query"])  # type: ignore[arg-type]
+        service = self.service
+        service.metrics.counter("queries").inc()
+        service.resources.charge_query()
+
+        if service.config.cache_enabled:
+            cached = service.cache.lookup(query, service.sim.now)
+            if cached is not None:
+                matches = cached
+                if query.limit is not None:
+                    matches = matches[: query.limit]
+                self._finish_with(respond, matches, "cache")
+                return DEFERRED
+
+        view = service.views.match_query(query)
+        if view is not None and self._view_usable(view):
+            self._view_pull(query, view, respond)
+            return DEFERRED
+
+        static_terms, dynamic_terms = self._split_terms(query)
+        if not dynamic_terms:
+            self._static_query(query, static_terms, respond)
+            return DEFERRED
+
+        attribute, plan = self._plan_groups(query, dynamic_terms)
+        if (
+            service.config.delegation_enabled
+            and self.outstanding >= service.config.delegation_threshold
+        ):
+            self._delegate(query, attribute, plan, respond)
+            return DEFERRED
+
+        self._directed_pull(query, attribute, plan, respond)
+        return DEFERRED
+
+    # ----------------------------------------------------- materialized views
+    def _view_usable(self, view) -> bool:
+        """A view answers queries once populated (or once it has had time to
+        populate and is genuinely empty)."""
+        settle = self.service.config.report_interval
+        return (
+            view.group.size_estimate() > 0
+            or view.created_at + settle <= self.service.sim.now
+        )
+
+    def _view_pull(self, query: Query, view, respond) -> None:
+        """Answer from the view's dedicated group: maximally directed —
+        every member matches the standing query by construction."""
+        self.service.metrics.counter("view_queries").inc()
+        state = ActiveQuery(query, respond, self.service.sim.now)
+        state.source = "view"
+        self.outstanding += 1
+        if view.group.size_estimate() == 0:
+            self._finish(state, timed_out=False)
+            return
+        self._query_group(state, view.group)
+        self.service.after(self.service.config.query_timeout, self._timeout, state)
+
+    def _split_terms(self, query: Query):
+        schema = self.service.config.schema
+        static_terms, dynamic_terms = [], []
+        for term in query.terms:
+            spec = schema.maybe_get(term.name)
+            if spec is not None and spec.is_dynamic:
+                dynamic_terms.append(term)
+            else:
+                static_terms.append(term)
+        return static_terms, dynamic_terms
+
+    # ------------------------------------------------------------ static path
+    def _static_query(self, query: Query, static_terms, respond) -> None:
+        registrar = self.service.registrar
+        store = self.service.store_client
+        smallest = min(
+            static_terms, key=lambda t: registrar_table_size(registrar, t.name)
+        )
+
+        def finish(rows) -> None:
+            matches = []
+            for row in rows:
+                attrs = dict(row.value.get("attributes") or {})
+                if query.matches(attrs):
+                    matches.append(
+                        {
+                            "node": row.key,
+                            "attrs": attrs,
+                            "region": row.value.get("region", ""),
+                        }
+                    )
+                    if query.limit is not None and len(matches) >= query.limit:
+                        break
+            self._maybe_cache(query, matches)
+            self._finish_with(respond, matches, "static")
+
+        if store is None:
+            # No store deployed: answer from the in-memory registry.
+            rows = [
+                _MemoryRow(r.node_id, {"attributes": r.static, "region": r.region})
+                for r in registrar.nodes.values()
+            ]
+            finish(rows)
+            return
+        store.scan(
+            static_table_name(smallest.name),
+            finish,
+            on_error=lambda exc: self._finish_with(respond, [], "static", error=str(exc)),
+        )
+
+    # --------------------------------------------------------- directed pull
+    def _plan_groups(self, query: Query, dynamic_terms):
+        """Candidate groups for the term with the fewest total nodes."""
+        groups_table = self.service.dgm.groups
+        best_attribute: Optional[str] = None
+        best: Optional[List[GroupInfo]] = None
+        best_total = None
+        for term in dynamic_terms:
+            if term.equals is not None:
+                raise QueryError(
+                    f"dynamic attribute {term.name!r} requires numeric bounds"
+                )
+            candidates = groups_table.instances_covering(
+                term.name, term.lower, term.upper
+            )
+            total = sum(g.size_estimate() for g in candidates)
+            prefer_smallest = self.service.config.smallest_group_routing
+            better = (
+                best_total is None
+                or (total < best_total if prefer_smallest else total > best_total)
+            )
+            if better:
+                best_attribute, best, best_total = term.name, candidates, total
+        assert best is not None and best_attribute is not None
+        # Smallest groups first: cheapest way to satisfy a limit.
+        return best_attribute, sorted(best, key=GroupInfo.size_estimate)
+
+    def _directed_pull(
+        self, query: Query, attribute: str, plan: List[GroupInfo], respond
+    ) -> None:
+        service = self.service
+        state = ActiveQuery(query, respond, service.sim.now)
+        self.outstanding += 1
+
+        # Only nodes transitioning between groups of the routed attribute can
+        # be missed by the group fan-out; everyone else is covered.
+        transitions = service.dgm.transitioning_nodes(attribute)
+        state.pending_transitions = len(transitions)
+        for node_id in transitions:
+            self._query_transitioning(state, node_id)
+
+        if query.limit is None:
+            first_wave, state.remaining_plan = plan, []
+        else:
+            first_wave, state.remaining_plan = self._take_wave(plan, query.limit)
+        if not first_wave and state.pending_transitions == 0:
+            self._finish(state, timed_out=False)
+            return
+        for group in first_wave:
+            self._query_group(state, group)
+        # Empty group instances produce no RPCs; if the whole wave was empty
+        # advance now (launching the next wave or finishing) instead of
+        # hanging until the timeout. Replies cannot have arrived yet —
+        # delivery is asynchronous — so this cannot double-finish.
+        if not state.pending_groups:
+            self._advance(state)
+        if not state.finished:
+            service.after(service.config.query_timeout, self._timeout, state)
+
+    @staticmethod
+    def _take_wave(plan: List[GroupInfo], limit: int):
+        """Prefix of groups whose estimated population covers 2x the limit."""
+        wave: List[GroupInfo] = []
+        covered = 0
+        index = 0
+        while index < len(plan) and covered < 2 * limit:
+            wave.append(plan[index])
+            covered += plan[index].size_estimate()
+            index += 1
+        return wave, plan[index:]
+
+    def _query_group(self, state: ActiveQuery, group: GroupInfo) -> None:
+        service = self.service
+        candidates = group.all_node_ids()
+        if not candidates:
+            return
+        # Load-balanced routing: a different random member each time (§VII).
+        member = service.rng.choice(candidates)
+        state.pending_groups.add(group.name)
+        state.groups_queried += 1
+        service.metrics.counter("group_queries").inc()
+        service.resources.charge_fanout()
+
+        def on_reply(result, group=group) -> None:
+            self._group_answered(state, group, result)
+
+        def on_timeout(group=group, member=member) -> None:
+            self._group_timed_out(state, group, member)
+
+        service.call(
+            member,
+            "node.group-query",
+            {"group": group.name, "query": state.query.to_json()},
+            on_reply=on_reply,
+            on_timeout=on_timeout,
+            timeout=service.config.query_timeout,
+        )
+
+    def _group_answered(self, state: ActiveQuery, group: GroupInfo, result) -> None:
+        state.pending_groups.discard(group.name)
+        if state.finished:
+            return
+        for record in (result or {}).get("matches", ()):
+            state.matches[str(record["node"])] = record
+        self._advance(state)
+
+    def _group_timed_out(self, state: ActiveQuery, group: GroupInfo, member: str) -> None:
+        """Retry once via a different member (resilience to node failure)."""
+        state.pending_groups.discard(group.name)
+        if state.finished:
+            return
+        others = [n for n in group.all_node_ids() if n != member]
+        if others and group.name not in state.retried:
+            state.retried.add(group.name)
+            substitute = self.service.rng.choice(others)
+            state.pending_groups.add(group.name)
+
+            def on_reply(result, group=group) -> None:
+                self._group_answered(state, group, result)
+
+            self.service.call(
+                substitute,
+                "node.group-query",
+                {"group": group.name, "query": state.query.to_json()},
+                on_reply=on_reply,
+                on_timeout=lambda: (
+                    state.pending_groups.discard(group.name),
+                    self._advance(state),
+                ),
+                timeout=self.service.config.query_timeout,
+            )
+            return
+        self._advance(state)
+
+    def _query_transitioning(self, state: ActiveQuery, node_id: str) -> None:
+        """Directly query a node that is between groups (§VII)."""
+        self.service.resources.charge_fanout()
+
+        def on_reply(result) -> None:
+            state.pending_transitions -= 1
+            if state.finished:
+                return
+            if result and result.get("match"):
+                state.matches[str(result["node"])] = {
+                    "node": result["node"],
+                    "attrs": result.get("attrs", {}),
+                    "region": result.get("region", ""),
+                }
+            self._advance(state)
+
+        def on_timeout() -> None:
+            state.pending_transitions -= 1
+            self._advance(state)
+
+        self.service.call(
+            node_id,
+            "node.query",
+            {"query": state.query.to_json()},
+            on_reply=on_reply,
+            on_timeout=on_timeout,
+            timeout=self.service.config.query_timeout,
+        )
+
+    def _advance(self, state: ActiveQuery) -> None:
+        if state.finished:
+            return
+        if state.limit_reached:
+            self._finish(state, timed_out=False)
+            return
+        if not state.pending_groups and state.remaining_plan:
+            assert state.query.limit is not None
+            shortfall = state.query.limit - len(state.matches)
+            wave, state.remaining_plan = self._take_wave(
+                state.remaining_plan, max(shortfall, 1)
+            )
+            for group in wave:
+                self._query_group(state, group)
+            return
+        if not state.pending_groups and state.pending_transitions <= 0:
+            self._finish(state, timed_out=False)
+
+    def _timeout(self, state: ActiveQuery) -> None:
+        if not state.finished:
+            self.service.metrics.counter("query_timeouts").inc()
+            self._finish(state, timed_out=True)
+
+    def _finish(self, state: ActiveQuery, *, timed_out: bool) -> None:
+        state.finished = True
+        self.outstanding -= 1
+        matches = state.trimmed_matches()
+        if not timed_out:
+            self._maybe_cache(state.query, list(state.matches.values()))
+        self._finish_with(
+            state.respond,
+            matches,
+            state.source,
+            timed_out=timed_out,
+            groups_queried=state.groups_queried,
+        )
+
+    # ------------------------------------------------------------- delegation
+    def _delegate(
+        self, query: Query, attribute: str, plan: List[GroupInfo], respond
+    ) -> None:
+        self.service.metrics.counter("delegated_queries").inc()
+        payload = {
+            "matches": [],
+            "source": "delegated",
+            "delegated": {
+                "groups": [
+                    {"name": g.name, "candidates": g.all_node_ids()} for g in plan
+                ],
+                "transitions": self.service.dgm.transitioning_nodes(attribute),
+            },
+        }
+        self._respond_after_processing(respond, payload)
+
+    # -------------------------------------------------------------- responses
+    def _maybe_cache(self, query: Query, matches: List[dict]) -> None:
+        if self.service.config.cache_enabled:
+            self.service.cache.store(query, matches, self.service.sim.now)
+
+    def _finish_with(
+        self,
+        respond,
+        matches: List[dict],
+        source: str,
+        *,
+        timed_out: bool = False,
+        groups_queried: int = 0,
+        error: Optional[str] = None,
+    ) -> None:
+        payload: Dict[str, object] = {
+            "matches": matches,
+            "source": source,
+            "timed_out": timed_out,
+            "groups_queried": groups_queried,
+        }
+        if error is not None:
+            payload["error"] = error
+        self._respond_after_processing(respond, payload)
+
+    def _respond_after_processing(self, respond, payload) -> None:
+        """Model server-side processing time (the ~45 ms cache path of
+        Fig. 8c is dominated by it)."""
+        delay = self.service.config.server_processing_delay
+        if delay > 0:
+            self.service.sim.schedule(delay, respond, payload)
+        else:
+            respond(payload)
+
+
+class _MemoryRow:
+    """Adapter so the storeless static path looks like store rows."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str, value: dict) -> None:
+        self.key = key
+        self.value = value
+
+
+def registrar_table_size(registrar, attribute: str) -> int:
+    """Number of nodes carrying a static attribute (smallest-table choice)."""
+    return registrar.static_counts.get(attribute, 0)

@@ -1,0 +1,254 @@
+"""The FOCUS server process.
+
+Composes the Registrar, the Dynamic Groups Manager and the Query Router
+behind RPC endpoints (the paper hosts them as REST APIs on one Jetty server,
+with the Query Router bound to a separate port to split northbound and
+southbound load — here the method namespace plays the port's role):
+
+southbound (consumed by node agents)
+    ``focus.register``, ``focus.deregister``, ``focus.suggest``,
+    ``focus.group-report``
+
+northbound (consumed by applications)
+    ``focus.query``
+
+The service also carries a resource model reproducing Fig. 8a's server
+CPU/RAM measurements (the paper's server VM: 4 vCPUs, 16 GB RAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.cache import QueryCache
+from repro.core.config import FocusConfig
+from repro.core.dgm import DynamicGroupsManager
+from repro.core.query import Query
+from repro.core.registrar import Registrar
+from repro.core.router import QueryRouter
+from repro.core.views import ViewManager, is_view_group
+from repro.errors import FocusError
+from repro.sim.loop import Simulator
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rpc import DEFERRED, RpcMixin
+from repro.store.cluster import StoreClient, StoreCluster
+
+
+@dataclass
+class ResourceModelConfig:
+    """CPU/RAM cost model for the FOCUS server (Fig. 8a calibration)."""
+
+    cores: float = 4.0
+    ram_total_mb: float = 16384.0
+    #: Parsing, cache lookup and planning for one query.
+    per_query_cpu: float = 0.002
+    #: Issuing one group/transition RPC and merging its response. This is
+    #: the work delegation (§VI) offloads to the application.
+    per_fanout_cpu: float = 0.004
+    per_report_cpu: float = 0.002
+    per_registration_cpu: float = 0.005
+    sample_interval: float = 1.0
+    base_ram_mb: float = 450.0
+    ram_per_node_mb: float = 0.12
+    ram_per_group_mb: float = 0.06
+    ram_per_cache_entry_mb: float = 0.01
+
+
+class ServerResourceModel:
+    """Accumulates modelled CPU work and samples utilisation and RAM."""
+
+    def __init__(self, service: "FocusService", config: Optional[ResourceModelConfig] = None) -> None:
+        self.service = service
+        self.config = config or ResourceModelConfig()
+        self._window_cpu = 0.0
+        self.cpu_series: List[Tuple[float, float]] = []
+        self.ram_series: List[Tuple[float, float]] = []
+
+    def charge_query(self) -> None:
+        self._window_cpu += self.config.per_query_cpu
+
+    def charge_fanout(self) -> None:
+        self._window_cpu += self.config.per_fanout_cpu
+
+    def charge_report(self) -> None:
+        self._window_cpu += self.config.per_report_cpu
+
+    def charge_registration(self) -> None:
+        self._window_cpu += self.config.per_registration_cpu
+
+    def sample(self) -> None:
+        cfg = self.config
+        utilization = min(1.0, self._window_cpu / cfg.sample_interval / cfg.cores)
+        self._window_cpu = 0.0
+        ram_mb = (
+            cfg.base_ram_mb
+            + cfg.ram_per_node_mb * len(self.service.registrar.nodes)
+            + cfg.ram_per_group_mb * len(self.service.dgm.groups)
+            + cfg.ram_per_cache_entry_mb * len(self.service.cache)
+        )
+        now = self.service.sim.now
+        self.cpu_series.append((now, utilization))
+        self.ram_series.append((now, ram_mb))
+
+    def mean_cpu_over(self, start: float, end: float) -> float:
+        samples = [u for t, u in self.cpu_series if start <= t <= end]
+        return sum(samples) / len(samples) if samples else float("nan")
+
+    def mean_ram_over(self, start: float, end: float) -> float:
+        samples = [r for t, r in self.ram_series if start <= t <= end]
+        return sum(samples) / len(samples) if samples else float("nan")
+
+
+class FocusService(Process, RpcMixin):
+    """The FOCUS server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        address: str = "focus",
+        region: str,
+        config: Optional[FocusConfig] = None,
+        store_cluster: Optional[StoreCluster] = None,
+        resource_config: Optional[ResourceModelConfig] = None,
+    ) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.config = config or FocusConfig()
+        self.metrics = MetricsRegistry()
+        self.rng = sim.derive_rng(f"focus/{address}")
+        self.cache = QueryCache(self.config.cache_max_entries)
+        self.store_client: Optional[StoreClient] = (
+            store_cluster.client_for(self) if store_cluster is not None else None
+        )
+        self.registrar = Registrar(self)
+        self.dgm = DynamicGroupsManager(self)
+        self.router = QueryRouter(self)
+        self.views = ViewManager(self)
+        self.resources = ServerResourceModel(self, resource_config)
+
+        self.serve("focus.register", self._rpc_register)
+        self.serve("focus.deregister", self._rpc_deregister)
+        self.serve("focus.suggest", self._rpc_suggest)
+        self.serve("focus.group-report", self._rpc_report)
+        self.serve("focus.query", self._rpc_query)
+        self.serve("focus.create-view", self._rpc_create_view)
+        self.serve("focus.drop-view", self._rpc_drop_view)
+        self.serve("focus.join-view", self._rpc_join_view)
+        self.serve("focus.leave-view", self._rpc_leave_view)
+
+    # ------------------------------------------------------------- lifecycle
+    def on_start(self) -> None:
+        self.every(
+            max(self.config.transition_ttl / 2, 1.0),
+            self.dgm.sweep_transitions,
+        )
+        self.every(self.config.report_interval, self.dgm.check_stale_groups)
+        self.every(self.config.report_interval, self.views.check_stale_view_groups)
+        if self.store_client is not None:
+            self.every(self.config.store_sync_interval, self.dgm.sync_to_store)
+        self.every(self.resources.config.sample_interval, self.resources.sample)
+
+    # ------------------------------------------------------------ southbound
+    def _rpc_register(self, params, respond, message):
+        try:
+            result = self.registrar.register(params)
+        except FocusError as exc:
+            return {"error": str(exc)}
+        self.resources.charge_registration()
+        result["views"] = self.views.definitions_for_registration()
+        return result
+
+    def _rpc_deregister(self, params, respond, message):
+        self.registrar.deregister(str(params["node_id"]))
+        return {"ok": True}
+
+    def _rpc_suggest(self, params, respond, message):
+        leaving = params.get("leaving")
+        if leaving:
+            self.dgm.node_left_group(str(params["node_id"]), str(leaving))
+        try:
+            suggestion = self.dgm.suggest(
+                str(params["node_id"]),
+                str(params["region"]),
+                str(params["attribute"]),
+                float(params["value"]),
+            )
+        except FocusError as exc:
+            return {"error": str(exc)}
+        return {"group": suggestion}
+
+    def _rpc_report(self, params, respond, message):
+        self.resources.charge_report()
+        if is_view_group(str(params.get("group", ""))):
+            return self.views.handle_report(params)
+        return self.dgm.handle_report(params)
+
+    def _rpc_create_view(self, params, respond, message):
+        try:
+            view = self.views.create_view(
+                params["query"], view_id=params.get("view_id")
+            )
+        except FocusError as exc:
+            return {"error": str(exc)}
+        return {"view_id": view.view_id, "group": view.group.name}
+
+    def _rpc_drop_view(self, params, respond, message):
+        self.views.drop_view(str(params["view_id"]))
+        return {"ok": True}
+
+    def _rpc_join_view(self, params, respond, message):
+        return self.views.handle_join(params)
+
+    def _rpc_leave_view(self, params, respond, message):
+        return self.views.handle_leave(params)
+
+    # ------------------------------------------------------------ northbound
+    def _rpc_query(self, params, respond, message):
+        try:
+            return self.router.handle(params, respond)
+        except FocusError as exc:
+            return {"error": str(exc), "matches": [], "source": "error"}
+
+    # ---------------------------------------------------------------- recovery
+    def recover_from_store(self, on_done: Optional[Callable[[], None]] = None) -> None:
+        """Rebuild service state after a crash-restart (§VIII-A).
+
+        Two sources, matching the paper's failure story:
+
+        * the **store** holds the registration records (and static tables),
+          which are reloaded here;
+        * the **groups** repopulate themselves: representatives keep
+          uploading member lists, and :meth:`DynamicGroupsManager.handle_report`
+          recreates missing group records from the first report it sees.
+        """
+        if self.store_client is None:
+            raise FocusError("recovery requires a store-backed deployment")
+
+        def loaded(rows) -> None:
+            for row in rows:
+                self.registrar.restore_record(row.key, row.value)
+            self.metrics.counter("recoveries").inc()
+            if on_done is not None:
+                on_done()
+
+        self.store_client.scan("nodes", loaded)
+
+    # ------------------------------------------------------------ local entry
+    def local_query(self, query: Query, on_response: Callable[[dict], None]) -> None:
+        """Northbound entry without a separate application process.
+
+        Used by the harness and tests; follows the same code path as the RPC
+        endpoint (including the modelled processing delay).
+        """
+        try:
+            result = self.router.handle({"query": query.to_json()}, on_response)
+        except FocusError as exc:
+            on_response({"error": str(exc), "matches": [], "source": "error"})
+            return
+        if result is not DEFERRED:
+            on_response(result)

@@ -1,0 +1,53 @@
+"""Exception hierarchy shared across the reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so callers
+can catch package-level failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """A violation of the simulation kernel's invariants.
+
+    Examples: scheduling an event in the past, or running a simulator that
+    was already stopped.
+    """
+
+
+class NetworkError(ReproError):
+    """Delivery-layer failure (unknown endpoint, endpoint unregistered)."""
+
+
+class StoreError(ReproError):
+    """Replicated store failure (quorum unreachable, unknown table)."""
+
+
+class QuorumError(StoreError):
+    """Not enough live replicas acknowledged a read or a write."""
+
+
+class BrokerError(ReproError):
+    """Message-queue broker failure (unknown queue, broker stopped)."""
+
+
+class FocusError(ReproError):
+    """Base class for FOCUS-service errors."""
+
+
+class RegistrationError(FocusError):
+    """A node registration request was malformed or rejected."""
+
+
+class QueryError(FocusError):
+    """A query was malformed (bad bounds, unknown attribute, bad limit)."""
+
+
+class QueryTimeout(FocusError):
+    """The query router gave up waiting for group responses (Section VIII-A3)."""
+
+
+class GroupError(FocusError):
+    """Group-management failure (unknown group, invalid cutoff)."""

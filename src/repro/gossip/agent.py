@@ -1,0 +1,211 @@
+"""Serf-style agent: user events and queries over the SWIM gossip channel.
+
+The paper's node agents run one Serf client per attribute group (§VIII-B).
+Two Serf features matter for FOCUS:
+
+* **user events** — fire-and-forget broadcasts disseminated epidemically;
+* **queries** — a member gossips a question to the whole group and every
+  member sends its answer *directly* to the originating member (§VII,
+  "Load-balanced Query Routing"), which aggregates and can finish early once
+  every member in its local view has answered.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.loop import Simulator
+from repro.sim.network import Message, Network
+from repro.gossip.swim import SwimAgent, SwimConfig
+
+QUERY_RESPONSE = "serf.query-resp"
+
+#: Number of distinct event/query ids remembered for deduplication.
+SEEN_BUFFER = 4096
+
+
+@dataclass
+class SerfConfig(SwimConfig):
+    """SWIM knobs plus Serf query timing."""
+
+    query_timeout: float = 1.0
+
+
+class QueryCollector:
+    """Aggregates direct responses for one in-flight group query."""
+
+    __slots__ = ("query_id", "expected", "responses", "on_complete", "finished", "started_at")
+
+    def __init__(
+        self,
+        query_id: str,
+        expected: List[str],
+        on_complete: Callable[[Dict[str, object]], None],
+        started_at: float,
+    ) -> None:
+        self.query_id = query_id
+        self.expected = set(expected)
+        self.responses: Dict[str, object] = {}
+        self.on_complete = on_complete
+        self.finished = False
+        self.started_at = started_at
+
+    def add(self, member_name: str, payload: object) -> None:
+        self.responses[member_name] = payload
+
+    @property
+    def complete(self) -> bool:
+        return self.expected.issubset(self.responses.keys())
+
+    def finish(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.on_complete(dict(self.responses))
+
+
+class SerfAgent(SwimAgent):
+    """A SWIM member that can originate and answer group events/queries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        address: str,
+        region: str,
+        config: Optional[SerfConfig] = None,
+    ) -> None:
+        super().__init__(sim, network, name, address, region, config or SerfConfig())
+        self.event_handlers: Dict[str, Callable[[object, str], None]] = {}
+        self.query_handlers: Dict[str, Callable[[object, str], object]] = {}
+        self._event_seq = 0
+        self._seen: set = set()
+        self._seen_order: deque = deque()
+        self._collectors: Dict[str, QueryCollector] = {}
+        self.on(QUERY_RESPONSE, self._on_query_response)
+
+    # --------------------------------------------------------------- handlers
+    def on_event(self, name: str, handler: Callable[[object, str], None]) -> None:
+        """Register a handler for user events named ``name``.
+
+        ``handler(payload, origin_member_name)`` is called once per event.
+        """
+        self.event_handlers[name] = handler
+
+    def on_query(self, name: str, handler: Callable[[object, str], object]) -> None:
+        """Register a handler for group queries named ``name``.
+
+        ``handler(payload, origin_member_name)`` must return the response
+        payload to send back to the originator, or ``None`` to stay silent.
+        """
+        self.query_handlers[name] = handler
+
+    # ------------------------------------------------------------ user events
+    def user_event(self, name: str, payload: object) -> str:
+        """Originate a user event; returns its id."""
+        self._event_seq += 1
+        event_id = f"{self.name}:e{self._event_seq}"
+        wire = {"t": "e", "id": event_id, "en": name, "ep": payload, "o": self.name}
+        self._remember(event_id)
+        self._deliver_event(wire)
+        self.broadcast_payload("event", event_id, wire)
+        return event_id
+
+    # ---------------------------------------------------------------- queries
+    def query(
+        self,
+        name: str,
+        payload: object,
+        on_complete: Callable[[Dict[str, object]], None],
+        *,
+        timeout: Optional[float] = None,
+    ) -> str:
+        """Originate a group query from this member.
+
+        Every member (including this one) runs its query handler and sends
+        the answer directly back here. ``on_complete`` fires exactly once,
+        with a dict of ``member name -> response payload``, either when all
+        members in the local alive view have answered or at the timeout.
+        """
+        self._event_seq += 1
+        query_id = f"{self.name}:q{self._event_seq}"
+        wire = {
+            "t": "q",
+            "id": query_id,
+            "qn": name,
+            "qp": payload,
+            "o": self.name,
+            "ra": self.address,
+        }
+        expected = self.members.alive_names()
+        collector = QueryCollector(query_id, expected, on_complete, self.sim.now)
+        self._collectors[query_id] = collector
+        self._remember(query_id)
+        # Answer locally first (we are a member too).
+        self._answer_query(wire)
+        self.broadcast_payload("query", query_id, wire)
+        query_timeout = timeout if timeout is not None else self.config.query_timeout  # type: ignore[attr-defined]
+        self.after(query_timeout, self._query_deadline, query_id)
+        return query_id
+
+    def _query_deadline(self, query_id: str) -> None:
+        collector = self._collectors.pop(query_id, None)
+        if collector is not None:
+            collector.finish()
+
+    def _on_query_response(self, message: Message) -> None:
+        payload = message.payload
+        collector = self._collectors.get(payload["id"])
+        if collector is None or collector.finished:
+            return
+        collector.add(payload["from"], payload["r"])
+        if collector.complete:
+            del self._collectors[payload["id"]]
+            collector.finish()
+
+    # ------------------------------------------------------------ gossip hook
+    def handle_custom_update(self, wire: Dict[str, object]) -> None:
+        kind = wire.get("t")
+        event_id = wire.get("id")
+        if event_id in self._seen:
+            return
+        self._remember(event_id)
+        if kind == "e":
+            self._deliver_event(wire)
+            self.broadcast_payload("event", str(event_id), dict(wire))
+        elif kind == "q":
+            self._answer_query(wire)
+            self.broadcast_payload("query", str(event_id), dict(wire))
+
+    def _deliver_event(self, wire: Dict[str, object]) -> None:
+        handler = self.event_handlers.get(str(wire["en"]))
+        if handler is not None:
+            handler(wire["ep"], str(wire["o"]))
+
+    def _answer_query(self, wire: Dict[str, object]) -> None:
+        handler = self.query_handlers.get(str(wire["qn"]))
+        if handler is None:
+            return
+        response = handler(wire["qp"], str(wire["o"]))
+        if response is None:
+            return
+        reply = {"id": wire["id"], "from": self.name, "r": response}
+        if str(wire["ra"]) == self.address:
+            # Local shortcut: we are the originator.
+            collector = self._collectors.get(str(wire["id"]))
+            if collector is not None:
+                collector.add(self.name, response)
+                if collector.complete:
+                    del self._collectors[str(wire["id"])]
+                    collector.finish()
+            return
+        self.send(str(wire["ra"]), QUERY_RESPONSE, reply)
+
+    def _remember(self, event_id: object) -> None:
+        self._seen.add(event_id)
+        self._seen_order.append(event_id)
+        while len(self._seen_order) > SEEN_BUFFER:
+            self._seen.discard(self._seen_order.popleft())

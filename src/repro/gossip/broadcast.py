@@ -1,0 +1,122 @@
+"""Piggyback broadcast queue.
+
+SWIM disseminates membership updates (and, in Serf, user events) by
+piggybacking them on gossip and probe messages. Each broadcast is retransmitted
+a bounded number of times — ``retransmit_mult * ceil(log2(n + 1))`` — which
+gives epidemic dissemination with high probability while bounding bandwidth.
+
+Broadcasts carry a ``key``: queueing a new broadcast with the same key
+invalidates the old one (e.g. a newer state for the same member replaces the
+older state still awaiting retransmission).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import operator
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.network import approx_size
+
+
+class Broadcast:
+    """One item awaiting epidemic retransmission.
+
+    ``size`` is the estimated wire size of the payload, computed once at
+    enqueue time so the gossip hot path never re-measures payloads.
+    """
+
+    __slots__ = ("key", "payload", "transmits_left", "size")
+
+    def __init__(
+        self,
+        key: Tuple[str, str],
+        payload: Dict[str, object],
+        transmits_left: int,
+        size: int,
+    ) -> None:
+        self.key = key
+        self.payload = payload
+        self.transmits_left = transmits_left
+        self.size = size
+
+
+def retransmit_limit(retransmit_mult: int, group_size: int) -> int:
+    """Number of times each broadcast is retransmitted."""
+    return retransmit_mult * int(math.ceil(math.log2(max(group_size, 1) + 1)))
+
+
+class BroadcastQueue:
+    """Bounded-retransmission broadcast queue.
+
+    ``take(k)`` returns up to ``k`` payloads, preferring the least-transmitted
+    broadcasts (so new information spreads fastest), and decrements their
+    remaining transmit budget.
+    """
+
+    def __init__(self, retransmit_mult: int = 4) -> None:
+        self.retransmit_mult = retransmit_mult
+        self._queue: Dict[Tuple[str, str], Broadcast] = {}
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def enqueue(
+        self,
+        key: Tuple[str, str],
+        payload: Dict[str, object],
+        group_size: int,
+        *,
+        transmits: Optional[int] = None,
+        size: Optional[int] = None,
+    ) -> None:
+        limit = (
+            transmits
+            if transmits is not None
+            else retransmit_limit(self.retransmit_mult, group_size)
+        )
+        if size is None:
+            size = approx_size(payload)
+        self._queue[key] = Broadcast(key, payload, max(limit, 1), size)
+
+    def invalidate(self, key: Tuple[str, str]) -> None:
+        self._queue.pop(key, None)
+
+    def take(self, max_items: int) -> List[Dict[str, object]]:
+        """Pop up to ``max_items`` payloads for one outgoing message."""
+        payloads, _ = self.take_with_size(max_items)
+        return payloads
+
+    def take_with_size(self, max_items: int) -> Tuple[List[Dict[str, object]], int]:
+        """Like :meth:`take` but also returns the summed payload size."""
+        if not self._queue or max_items <= 0:
+            return [], 0
+        # Least-transmitted first, so fresh information spreads fastest.
+        if len(self._queue) <= max_items:
+            selected = list(self._queue.values())
+        else:
+            selected = heapq.nlargest(
+                max_items,
+                self._queue.values(),
+                key=operator.attrgetter("transmits_left"),
+            )
+        payloads = []
+        total_size = 0
+        for broadcast in selected:
+            payloads.append(broadcast.payload)
+            total_size += broadcast.size
+            broadcast.transmits_left -= 1
+            if broadcast.transmits_left <= 0:
+                del self._queue[broadcast.key]
+        return payloads, total_size
+
+    def peek_keys(self) -> List[Tuple[str, str]]:
+        return list(self._queue.keys())
+
+    def clear(self) -> None:
+        self._queue.clear()

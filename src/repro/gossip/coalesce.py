@@ -1,0 +1,78 @@
+"""Event coalescing, as in Serf.
+
+Serf coalesces bursts of user events: when many events of the same name
+arrive within a short window (e.g. a wave of "member-updated" notifications
+during churn), handlers see only the latest one per coalescing key instead
+of every intermediate value. This keeps event consumers cheap during storms
+while preserving the final state.
+
+Usage::
+
+    coalescer = EventCoalescer(sim, window=0.5)
+    agent.on_event("state-change", coalescer.wrap(handler, key=lambda p, o: o))
+
+The ``key`` function buckets events; within a window only the newest payload
+per bucket is delivered, when the window closes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro.sim.loop import Simulator
+
+
+class EventCoalescer:
+    """Coalesces handler invocations over a fixed window."""
+
+    def __init__(self, sim: Simulator, *, window: float = 0.5) -> None:
+        if window <= 0:
+            raise ValueError("coalescing window must be positive")
+        self.sim = sim
+        self.window = window
+        #: Buckets currently holding back events: key -> (payload, origin).
+        self._pending: Dict[Hashable, Tuple[object, str]] = {}
+        self._flush_scheduled = False
+        self._handler: Optional[Callable[[object, str], None]] = None
+        self._key: Optional[Callable[[object, str], Hashable]] = None
+        self.delivered = 0
+        self.coalesced = 0
+
+    def wrap(
+        self,
+        handler: Callable[[object, str], None],
+        *,
+        key: Optional[Callable[[object, str], Hashable]] = None,
+    ) -> Callable[[object, str], None]:
+        """Wrap an event handler; returns the coalescing version.
+
+        ``key`` buckets events (default: the event's origin member) — only
+        the newest payload per bucket survives a window.
+        """
+        if self._handler is not None:
+            raise RuntimeError("an EventCoalescer wraps exactly one handler")
+        self._handler = handler
+        self._key = key if key is not None else (lambda payload, origin: origin)
+
+        def on_event(payload: object, origin: str) -> None:
+            bucket = self._key(payload, origin)  # type: ignore[misc]
+            if bucket in self._pending:
+                self.coalesced += 1
+            self._pending[bucket] = (payload, origin)
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                self.sim.schedule(self.window, self._flush)
+
+        return on_event
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        pending, self._pending = self._pending, {}
+        for payload, origin in pending.values():
+            self.delivered += 1
+            self._handler(payload, origin)  # type: ignore[misc]
+
+    def flush_now(self) -> None:
+        """Deliver anything held back immediately (for shutdown paths)."""
+        if self._pending:
+            self._flush()

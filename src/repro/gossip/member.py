@@ -1,0 +1,179 @@
+"""Membership records and the SWIM update-ordering rules.
+
+The ordering rules (which update supersedes which) follow SWIM/memberlist:
+incarnation numbers dominate; at equal incarnation, ``dead``/``left``
+supersedes ``suspect`` supersedes ``alive``. A node refutes suspicion about
+itself by bumping its incarnation and re-broadcasting ``alive``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, List, Optional
+
+
+class MemberState(str, enum.Enum):
+    """SWIM member lifecycle states; LEFT is the graceful variant of DEAD."""
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+    LEFT = "left"
+
+
+_STATE_RANK = {
+    MemberState.ALIVE: 0,
+    MemberState.SUSPECT: 1,
+    MemberState.LEFT: 2,
+    MemberState.DEAD: 2,
+}
+
+#: Fast lookups used on the gossip hot path (avoids Enum.__call__).
+STATE_BY_VALUE = {state.value: state for state in MemberState}
+RANK_BY_VALUE = {state.value: rank for state, rank in _STATE_RANK.items()}
+
+
+def supersedes(
+    new_state: MemberState,
+    new_incarnation: int,
+    old_state: MemberState,
+    old_incarnation: int,
+) -> bool:
+    """True if an update ``(new_state, new_incarnation)`` should be applied."""
+    if new_incarnation != old_incarnation:
+        return new_incarnation > old_incarnation
+    return _STATE_RANK[new_state] > _STATE_RANK[old_state]
+
+
+class Member:
+    """One member as seen by one agent (views may differ transiently)."""
+
+    __slots__ = ("name", "address", "region", "incarnation", "state", "state_time")
+
+    def __init__(
+        self,
+        name: str,
+        address: str,
+        region: str,
+        incarnation: int = 0,
+        state: MemberState = MemberState.ALIVE,
+        state_time: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.address = address
+        self.region = region
+        self.incarnation = incarnation
+        self.state = state
+        self.state_time = state_time
+
+    def to_wire(self) -> Dict[str, object]:
+        """Compact dict for piggybacking on gossip messages."""
+        return {
+            "n": self.name,
+            "a": self.address,
+            "r": self.region,
+            "i": self.incarnation,
+            "s": self.state.value,
+        }
+
+    def wire_size(self) -> int:
+        """Estimated JSON size of :meth:`to_wire`, cheap enough for hot paths."""
+        return 48 + len(self.name) + len(self.address) + len(self.region)
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object], time: float) -> "Member":
+        return cls(
+            name=data["n"],  # type: ignore[arg-type]
+            address=data["a"],  # type: ignore[arg-type]
+            region=data["r"],  # type: ignore[arg-type]
+            incarnation=data["i"],  # type: ignore[arg-type]
+            state=STATE_BY_VALUE[data["s"]],  # type: ignore[index]
+            state_time=time,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Member {self.name} {self.state.value} inc={self.incarnation}>"
+
+
+class MemberList:
+    """An agent's local view of the group."""
+
+    def __init__(self, self_name: str) -> None:
+        self.self_name = self_name
+        self._members: Dict[str, Member] = {}
+        self._alive_cache: Optional[List[Member]] = None
+        self._alive_count = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Member]:
+        return iter(self._members.values())
+
+    def get(self, name: str) -> Optional[Member]:
+        return self._members.get(name)
+
+    def _count_delta(self, old: Optional[Member], new: Optional[Member]) -> None:
+        if old is not None and old.state == MemberState.ALIVE:
+            self._alive_count -= 1
+        if new is not None and new.state == MemberState.ALIVE:
+            self._alive_count += 1
+
+    def upsert(self, member: Member) -> None:
+        """Insert or unconditionally replace a member record."""
+        self._count_delta(self._members.get(member.name), member)
+        self._members[member.name] = member
+        self._alive_cache = None
+
+    def remove(self, name: str) -> None:
+        old = self._members.pop(name, None)
+        self._count_delta(old, None)
+        self._alive_cache = None
+
+    def apply(self, update: Member) -> bool:
+        """Apply an update if it supersedes the current record.
+
+        Returns True if the view changed (the caller should re-broadcast).
+        """
+        current = self._members.get(update.name)
+        if current is None:
+            self._count_delta(None, update)
+            self._members[update.name] = update
+            self._alive_cache = None
+            return True
+        if supersedes(update.state, update.incarnation, current.state, current.incarnation):
+            self._count_delta(current, update)
+            self._members[update.name] = update
+            self._alive_cache = None
+            return True
+        return False
+
+    @property
+    def alive_count(self) -> int:
+        """Number of alive members, maintained incrementally (O(1))."""
+        return self._alive_count
+
+    def alive(self, *, exclude_self: bool = False) -> List[Member]:
+        if self._alive_cache is None:
+            self._alive_cache = [
+                m for m in self._members.values() if m.state == MemberState.ALIVE
+            ]
+        if exclude_self:
+            return [m for m in self._alive_cache if m.name != self.self_name]
+        return list(self._alive_cache)
+
+    def alive_names(self, *, exclude_self: bool = False) -> List[str]:
+        return [m.name for m in self.alive(exclude_self=exclude_self)]
+
+    def suspects(self) -> List[Member]:
+        return [m for m in self._members.values() if m.state == MemberState.SUSPECT]
+
+    def snapshot_wire(self) -> List[Dict[str, object]]:
+        """Full state for push-pull anti-entropy sync."""
+        return [m.to_wire() for m in self._members.values()]
+
+    def snapshot_size(self) -> int:
+        """Estimated wire size of :meth:`snapshot_wire`."""
+        return 2 + sum(m.wire_size() + 1 for m in self._members.values())

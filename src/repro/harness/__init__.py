@@ -1,0 +1,20 @@
+"""Experiment harness: scenario builders, runners and result formatting.
+
+Everything the benchmarks and examples share lives here, so each benchmark
+file only describes its sweep and its expected shape.
+"""
+
+from repro.harness.runner import drain, run_queries, run_query
+from repro.harness.scenarios import FocusScenario, build_focus_cluster
+
+from repro.harness.report import format_table, print_table
+
+__all__ = [
+    "FocusScenario",
+    "build_focus_cluster",
+    "drain",
+    "format_table",
+    "print_table",
+    "run_queries",
+    "run_query",
+]

@@ -1,0 +1,75 @@
+"""Turn a pytest-benchmark JSON file into a markdown results report.
+
+Every benchmark stores its printed tables in ``extra_info`` (see
+``benchmarks/conftest.py``); this module extracts them so results can be
+published without re-parsing stdout::
+
+    pytest benchmarks/ --benchmark-only --benchmark-json=results.json
+    python -m repro.harness.benchreport results.json > RESULTS.md
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+
+def extract_tables(benchmark_json: Dict) -> List[Dict]:
+    """All result tables from a pytest-benchmark JSON document."""
+    tables = []
+    for bench in benchmark_json.get("benchmarks", ()):
+        info = bench.get("extra_info") or {}
+        for table in info.get("tables", ()):
+            tables.append(
+                {
+                    "benchmark": bench.get("name", "?"),
+                    "group": bench.get("group"),
+                    "wall_seconds": (bench.get("stats") or {}).get("mean"),
+                    "title": table["title"],
+                    "headers": table["headers"],
+                    "rows": table["rows"],
+                }
+            )
+    return tables
+
+
+def to_markdown(tables: List[Dict]) -> str:
+    """Render extracted tables as a markdown report."""
+    lines = ["# Benchmark results", ""]
+    for table in tables:
+        lines.append(f"## {table['title']}")
+        wall = table.get("wall_seconds")
+        meta = f"from `{table['benchmark']}`"
+        if wall is not None:
+            meta += f", {wall:.1f} s wall"
+        lines.append(f"*({meta})*")
+        lines.append("")
+        lines.append("| " + " | ".join(table["headers"]) + " |")
+        lines.append("|" + "---|" * len(table["headers"]))
+        for row in table["rows"]:
+            lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] = None) -> int:
+    """Read a benchmark JSON path from argv, print markdown to stdout."""
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.harness.benchreport <benchmark.json>",
+              file=sys.stderr)
+        return 2
+    with open(argv[0]) as handle:
+        document = json.load(handle)
+    tables = extract_tables(document)
+    if not tables:
+        print("no result tables found (run benchmarks with extra_info tables)",
+              file=sys.stderr)
+        return 1
+    print(to_markdown(tables))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Run helpers: drive a scenario's simulator until query responses arrive."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.query import Query
+from repro.core.rest import QueryResponse
+from repro.errors import SimulationError
+from repro.harness.scenarios import FocusScenario
+
+
+def drain(scenario: FocusScenario, seconds: float) -> None:
+    """Advance simulated time (convergence, warm-up, settling)."""
+    scenario.sim.run_until(scenario.sim.now + seconds)
+
+
+def run_query(
+    scenario: FocusScenario,
+    query: Query,
+    *,
+    max_wait: float = 20.0,
+) -> QueryResponse:
+    """Issue one query through the application and wait for its response."""
+    box: List[QueryResponse] = []
+    scenario.app.query(query, box.append)
+    deadline = scenario.sim.now + max_wait
+    while not box and scenario.sim.now < deadline:
+        scenario.sim.run_until(min(scenario.sim.now + 0.05, deadline))
+    if not box:
+        raise SimulationError(f"no response to {query!r} within {max_wait}s")
+    return box[0]
+
+
+def run_queries(
+    scenario: FocusScenario,
+    queries: List[Query],
+    *,
+    rate: float,
+    on_response: Optional[Callable[[QueryResponse], None]] = None,
+    settle: float = 5.0,
+) -> List[QueryResponse]:
+    """Replay ``queries`` at ``rate`` per second; returns all responses.
+
+    Arrivals are evenly spaced (the trace replay experiments control rate
+    explicitly). After the last arrival the simulator runs ``settle`` more
+    seconds so stragglers complete.
+    """
+    responses: List[QueryResponse] = []
+
+    def record(response: QueryResponse) -> None:
+        responses.append(response)
+        if on_response is not None:
+            on_response(response)
+
+    interval = 1.0 / rate
+    start = scenario.sim.now
+    for index, query in enumerate(queries):
+        scenario.sim.schedule_at(
+            start + index * interval, scenario.app.query, query, record
+        )
+    scenario.sim.run_until(start + len(queries) * interval + settle)
+    return responses

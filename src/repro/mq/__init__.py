@@ -1,0 +1,14 @@
+"""RabbitMQ-equivalent message broker.
+
+The paper motivates FOCUS with a RabbitMQ scalability study (§III, Fig. 3):
+a broker on a 4-vCPU VM saturates around 6k producers each pushing five 1 KB
+messages per second, and crosses 50% CPU as early as 2k producers. This
+package reproduces that broker as a simulated process with an explicit CPU
+service-time model, plus the queue/exchange/consumer surface the baselines
+need (publish/subscribe, direct and fanout exchanges, competing consumers).
+"""
+
+from repro.mq.broker import Broker, BrokerConfig
+from repro.mq.client import Consumer, Producer
+
+__all__ = ["Broker", "BrokerConfig", "Consumer", "Producer"]

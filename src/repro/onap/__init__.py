@@ -1,0 +1,28 @@
+"""ONAP-style VNF homing over FOCUS (§II-B, §V-B, Fig. 4).
+
+The vCPE homing problem: given a residential customer, find (a) a slice of an
+existing vGMux instance carrying that customer's VPN, and (b) a provider-edge
+cloud site to host a new vG — subject to the Fig. 4b policy set (provider-
+owned sites, SR-IOV + minimum KVM version, distance bound, instantaneous
+site/service capacity).
+
+Sites and service instances are FOCUS *nodes* with their own attribute
+schema; the homing service expresses each policy as a FOCUS query term (or a
+client-side location filter) and gets candidates satisfying all constraints.
+The legacy alternative — sequential lookups against a static inventory that
+knows nothing about current capacity — is provided for comparison.
+"""
+
+from repro.onap.homing import HomingPlan, HomingService, VcpeCustomer
+from repro.onap.inventory import StaticInventory
+from repro.onap.models import CloudSite, VgMuxInstance, onap_schema
+
+__all__ = [
+    "CloudSite",
+    "HomingPlan",
+    "HomingService",
+    "StaticInventory",
+    "VcpeCustomer",
+    "VgMuxInstance",
+    "onap_schema",
+]

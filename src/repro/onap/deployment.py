@@ -1,0 +1,156 @@
+"""Deployment builder for the ONAP homing scenario.
+
+Creates provider-edge sites spread around the paper's four regions, vGMux
+instances carrying customer VPNs, registers everything as FOCUS nodes (with
+the ONAP attribute schema), and wires up the homing service.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.agent import NodeAgent
+from repro.core.config import FocusConfig
+from repro.core.service import FocusService
+from repro.onap.homing import HomingService
+from repro.onap.inventory import StaticInventory
+from repro.onap.models import CloudSite, VgMuxInstance, onap_schema
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+from repro.sim.topology import Topology
+
+
+@dataclass
+class OnapDeployment:
+    """A wired-up homing scenario."""
+
+    sim: Simulator
+    network: Network
+    focus: FocusService
+    homing: HomingService
+    sites: List[CloudSite]
+    muxes: List[VgMuxInstance]
+    agents: Dict[str, NodeAgent]
+    inventory: StaticInventory
+
+    def agent_for(self, node_id: str) -> NodeAgent:
+        return self.agents[node_id]
+
+    def consume_site(self, site_id: str, vcpus: float, ram_mb: float) -> None:
+        """Model a vG instantiation consuming site capacity."""
+        agent = self.agents[f"site::{site_id}"]
+        agent.set_attribute("site_vcpus", max(0.0, agent.dynamic["site_vcpus"] - vcpus))
+        agent.set_attribute("site_ram_mb", max(0.0, agent.dynamic["site_ram_mb"] - ram_mb))
+
+    def consume_mux(self, node_id: str, sessions: float) -> None:
+        """Model a subscriber slice consuming mux capacity."""
+        agent = self.agents[node_id]
+        agent.set_attribute(
+            "mux_capacity", max(0.0, agent.dynamic["mux_capacity"] - sessions)
+        )
+
+
+def build_onap_deployment(
+    *,
+    num_sites: int = 12,
+    muxes_per_site: int = 2,
+    hosts_per_site: int = 0,
+    vpn_ids: Optional[List[str]] = None,
+    seed: int = 0,
+) -> OnapDeployment:
+    """Build sites/muxes across the four paper regions and register them."""
+    sim = Simulator(seed=seed)
+    network = Network(sim, Topology())
+    regions = network.topology.regions
+    config = FocusConfig(schema=onap_schema(), max_group_size=64)
+    focus = FocusService(sim, network, region=regions[0].name, config=config)
+    focus.start()
+    homing = HomingService(sim, network, "homing", regions[0].name)
+    homing.start()
+
+    rng = random.Random(f"onap/{seed}")
+    vpn_ids = vpn_ids or [f"vpn-{i}" for i in range(8)]
+    sites: List[CloudSite] = []
+    muxes: List[VgMuxInstance] = []
+    agents: Dict[str, NodeAgent] = {}
+
+    for index in range(num_sites):
+        region = regions[index % len(regions)]
+        site = CloudSite(
+            site_id=f"pe-{index:03d}",
+            region=region.name,
+            # Scatter sites within ~2 degrees of their region's centre.
+            lat=region.latitude + rng.uniform(-2.0, 2.0),
+            lon=region.longitude + rng.uniform(-2.0, 2.0),
+            owner="sp" if index % 5 else "partner",
+            sriov=bool(index % 7),
+            kvm_version=22 if index % 3 else 20,
+        )
+        sites.append(site)
+        agents[site.node_id] = NodeAgent(
+            sim,
+            network,
+            site.node_id,
+            region.name,
+            focus.address,
+            static=site.static_attributes(),
+            dynamic=site.dynamic_attributes(),
+            config=config,
+        )
+        for mux_index in range(muxes_per_site):
+            carried = rng.sample(vpn_ids, k=min(3, len(vpn_ids)))
+            mux = VgMuxInstance(
+                instance_id=f"{site.site_id}-mux{mux_index}",
+                site=site,
+                vlan_tags={vpn: 100 + i for i, vpn in enumerate(carried)},
+            )
+            muxes.append(mux)
+            agents[mux.node_id] = NodeAgent(
+                sim,
+                network,
+                mux.node_id,
+                region.name,
+                focus.address,
+                static=mux.static_attributes(),
+                dynamic=mux.dynamic_attributes(),
+                config=config,
+            )
+
+        for host_index in range(hosts_per_site):
+            # Unified-homing hosts (§II-B): host-level capacity searched by
+            # the same FOCUS instance that holds sites and services.
+            host_id = f"host::{site.site_id}-{host_index}"
+            agents[host_id] = NodeAgent(
+                sim,
+                network,
+                host_id,
+                region.name,
+                focus.address,
+                static={
+                    "node_type": "host",
+                    "site_id": site.site_id,
+                    "lat": site.lat,
+                    "lon": site.lon,
+                },
+                dynamic={
+                    "host_ram_mb": rng.uniform(16384.0, 65536.0),
+                    "host_vcpus": float(rng.randrange(8, 33)),
+                },
+                config=config,
+            )
+
+    for agent in agents.values():
+        sim.schedule(rng.uniform(0.0, 3.0), agent.start)
+
+    return OnapDeployment(
+        sim=sim,
+        network=network,
+        focus=focus,
+        homing=homing,
+        sites=sites,
+        muxes=muxes,
+        agents=agents,
+        inventory=StaticInventory(sites, muxes),
+    )

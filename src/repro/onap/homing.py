@@ -1,0 +1,216 @@
+"""The homing service: vCPE placement via FOCUS queries (Fig. 4).
+
+Policies from Fig. 4b, expressed against FOCUS:
+
+1. *vGMux selection* — service instances of type vGMux with enough spare
+   capacity (dynamic ``mux_capacity``), carrying the customer's VPN VLAN tag
+   (static per-VPN attribute, filtered client-side), preferring the instance
+   closest to the customer.
+2. *vG site selection* — provider-owned sites with SR-IOV and a minimum KVM
+   version (static), within a distance bound of the customer (location
+   filter), with instantaneous capacity for the vG (dynamic site terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.query import Query, QueryTerm
+from repro.core.rest import FocusClient, QueryResponse
+from repro.onap.models import distance_miles
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+
+
+@dataclass
+class VcpeCustomer:
+    """A residential customer requesting vCPE service."""
+
+    customer_id: str
+    vpn_id: str
+    lat: float
+    lon: float
+    #: sessions needed on the shared mux
+    mux_sessions: float = 100.0
+    #: resources for the dedicated vG
+    vg_vcpus: float = 8.0
+    vg_ram_mb: float = 16384.0
+    max_site_distance_miles: float = 100.0
+    min_kvm_version: int = 22
+
+
+@dataclass
+class HomingPlan:
+    """Outcome of homing one customer."""
+
+    customer_id: str
+    ok: bool
+    vgmux: Optional[str] = None
+    vg_site: Optional[str] = None
+    #: Only set by unified homing (§II-B): the physical host for the vG.
+    vg_host: Optional[str] = None
+    reason: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return not self.ok
+
+
+class HomingService(Process, RpcMixin):
+    """ONAP homing over FOCUS."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        region: str,
+        focus_address: str = "focus",
+    ) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.client = FocusClient(self, focus_address)
+        self.plans: List[HomingPlan] = []
+
+    # ------------------------------------------------------------ public API
+    def home_vcpe(
+        self,
+        customer: VcpeCustomer,
+        on_done: Callable[[HomingPlan], None],
+    ) -> None:
+        """Run the two-stage homing pipeline for one customer."""
+
+        def finish(plan: HomingPlan) -> None:
+            self.plans.append(plan)
+            on_done(plan)
+
+        def have_sites(mux_node: str, site_response: QueryResponse) -> None:
+            site = self._pick_site(customer, site_response)
+            if site is None:
+                finish(HomingPlan(customer.customer_id, False, vgmux=mux_node,
+                                  reason="no feasible vG site"))
+                return
+            finish(HomingPlan(customer.customer_id, True, vgmux=mux_node, vg_site=site))
+
+        def have_muxes(mux_response: QueryResponse) -> None:
+            mux_node = self._pick_vgmux(customer, mux_response)
+            if mux_node is None:
+                finish(HomingPlan(customer.customer_id, False,
+                                  reason="no vGMux carries this VPN with capacity"))
+                return
+            self.client.query(
+                self._site_query(customer),
+                lambda site_response: have_sites(mux_node, site_response),
+            )
+
+        self.client.query(self._vgmux_query(customer), have_muxes)
+
+    def home_vcpe_unified(
+        self,
+        customer: VcpeCustomer,
+        on_done: Callable[[HomingPlan], None],
+    ) -> None:
+        """§II-B's re-architected flow: one homing service, one FOCUS,
+        resolving site-level AND host-level constraints in a single pass
+        (no hand-off to a per-site cloud manager)."""
+
+        def finish(plan: HomingPlan) -> None:
+            self.plans.append(plan)
+            on_done(plan)
+
+        def have_host(plan: HomingPlan, host_response: QueryResponse) -> None:
+            if not host_response.matches:
+                finish(HomingPlan(customer.customer_id, False,
+                                  vgmux=plan.vgmux, vg_site=plan.vg_site,
+                                  reason="no host with capacity in site"))
+                return
+            best = max(
+                host_response.matches,
+                key=lambda m: float(m["attrs"].get("host_ram_mb", 0.0)),
+            )
+            plan.vg_host = str(best["node"])
+            finish(plan)
+
+        def staged(plan: HomingPlan) -> None:
+            if not plan.ok:
+                finish(plan)
+                return
+            site_id = str(plan.vg_site).split("::", 1)[1]
+            self.plans.remove(plan)  # replaced by the host-resolved plan
+            self.client.query(
+                Query(
+                    [
+                        QueryTerm.exact("node_type", "host"),
+                        QueryTerm.exact("site_id", site_id),
+                        QueryTerm.at_least("host_ram_mb", customer.vg_ram_mb),
+                        QueryTerm.at_least("host_vcpus", customer.vg_vcpus),
+                    ],
+                    freshness_ms=0.0,
+                ),
+                lambda host_response: have_host(plan, host_response),
+            )
+
+        self.home_vcpe(customer, staged)
+
+    # -------------------------------------------------------------- policies
+    def _vgmux_query(self, customer: VcpeCustomer) -> Query:
+        return Query(
+            [
+                QueryTerm.exact("service_type", "vGMux"),
+                QueryTerm.at_least("mux_capacity", customer.mux_sessions),
+            ],
+            freshness_ms=0.0,
+        )
+
+    def _site_query(self, customer: VcpeCustomer) -> Query:
+        return Query(
+            [
+                QueryTerm.exact("owner", "sp"),
+                QueryTerm.exact("sriov", "yes"),
+                QueryTerm.at_least("kvm_version", customer.min_kvm_version),
+                QueryTerm.at_least("site_vcpus", customer.vg_vcpus),
+                QueryTerm.at_least("site_ram_mb", customer.vg_ram_mb),
+            ],
+            freshness_ms=0.0,
+        )
+
+    def _pick_vgmux(self, customer: VcpeCustomer, response: QueryResponse) -> Optional[str]:
+        """Closest mux that carries the customer's VPN VLAN tag."""
+        best = None
+        best_distance = None
+        for match in response.matches:
+            attrs = match["attrs"]
+            if f"vpn::{customer.vpn_id}" not in attrs:
+                continue
+            distance = distance_miles(
+                customer.lat, customer.lon,
+                float(attrs.get("lat", 0.0)), float(attrs.get("lon", 0.0)),
+            )
+            if best_distance is None or distance < best_distance:
+                best, best_distance = str(match["node"]), distance
+        return best
+
+    def _pick_site(self, customer: VcpeCustomer, response: QueryResponse) -> Optional[str]:
+        """Closest feasible site within the distance bound."""
+        best = None
+        best_distance = None
+        for match in response.matches:
+            attrs = match["attrs"]
+            distance = distance_miles(
+                customer.lat, customer.lon,
+                float(attrs.get("lat", 0.0)), float(attrs.get("lon", 0.0)),
+            )
+            if distance > customer.max_site_distance_miles:
+                continue
+            if best_distance is None or distance < best_distance:
+                best, best_distance = str(match["node"]), distance
+        return best
+
+    # ------------------------------------------------------------ statistics
+    def success_rate(self) -> float:
+        if not self.plans:
+            return 0.0
+        return sum(1 for p in self.plans if p.ok) / len(self.plans)

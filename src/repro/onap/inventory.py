@@ -1,0 +1,69 @@
+"""Legacy baseline: homing against a static central inventory (§II-B).
+
+Today's homing service queries central inventories that hold only *static*
+site/service attributes — no instantaneous capacity. The consequence, shown
+in the examples: under load it happily homes customers onto exhausted muxes
+and full sites, because it cannot see current capacity at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.onap.homing import HomingPlan, VcpeCustomer
+from repro.onap.models import CloudSite, VgMuxInstance, distance_miles
+
+
+class StaticInventory:
+    """An inventory snapshot taken at deployment time."""
+
+    def __init__(self, sites: List[CloudSite], muxes: List[VgMuxInstance]) -> None:
+        self.sites = list(sites)
+        self.muxes = list(muxes)
+        self.plans: List[HomingPlan] = []
+
+    def home_vcpe(self, customer: VcpeCustomer) -> HomingPlan:
+        """Sequential static lookups; capacity constraints are invisible."""
+        mux = self._pick_vgmux(customer)
+        if mux is None:
+            plan = HomingPlan(customer.customer_id, False,
+                              reason="no vGMux carries this VPN")
+            self.plans.append(plan)
+            return plan
+        site = self._pick_site(customer)
+        if site is None:
+            plan = HomingPlan(customer.customer_id, False, vgmux=mux.node_id,
+                              reason="no site within distance bound")
+            self.plans.append(plan)
+            return plan
+        plan = HomingPlan(customer.customer_id, True, vgmux=mux.node_id,
+                          vg_site=site.node_id)
+        self.plans.append(plan)
+        return plan
+
+    def _pick_vgmux(self, customer: VcpeCustomer) -> Optional[VgMuxInstance]:
+        candidates = [m for m in self.muxes if customer.vpn_id in m.vlan_tags]
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda m: distance_miles(customer.lat, customer.lon,
+                                         m.site.lat, m.site.lon),
+        )
+
+    def _pick_site(self, customer: VcpeCustomer) -> Optional[CloudSite]:
+        feasible = [
+            s
+            for s in self.sites
+            if s.owner == "sp"
+            and s.sriov
+            and s.kvm_version >= customer.min_kvm_version
+            and distance_miles(customer.lat, customer.lon, s.lat, s.lon)
+            <= customer.max_site_distance_miles
+        ]
+        if not feasible:
+            return None
+        return min(
+            feasible,
+            key=lambda s: distance_miles(customer.lat, customer.lon, s.lat, s.lon),
+        )

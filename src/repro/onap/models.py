@@ -1,0 +1,127 @@
+"""Domain models for the ONAP homing scenario.
+
+Each :class:`CloudSite` and :class:`VgMuxInstance` maps to one FOCUS node.
+Static attributes carry identity and hardware capability (Table II "Site
+attributes"); dynamic attributes carry instantaneous capacities (Table II
+"Site capacity" / "Service capacity").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.attributes import AttributeKind, AttributeSchema, AttributeSpec
+
+MILES_PER_KM = 0.621371
+
+
+def onap_schema() -> AttributeSchema:
+    """Attribute schema for the homing deployment.
+
+    Dynamic cutoffs follow the same philosophy as the OpenStack schema:
+    coarse enough that a family holds many nodes, fine enough that a group
+    meaningfully narrows a capacity query.
+    """
+    schema = AttributeSchema()
+    schema.add(AttributeSpec("site_vcpus", AttributeKind.DYNAMIC, cutoff=64.0,
+                             min_value=0.0, max_value=512.0))
+    schema.add(AttributeSpec("site_ram_mb", AttributeKind.DYNAMIC, cutoff=65536.0,
+                             min_value=0.0, max_value=524288.0, unit="MB"))
+    schema.add(AttributeSpec("upstream_mbps", AttributeKind.DYNAMIC, cutoff=5000.0,
+                             min_value=0.0, max_value=40000.0, unit="Mbps"))
+    schema.add(AttributeSpec("tenant_quota", AttributeKind.DYNAMIC, cutoff=25.0,
+                             min_value=0.0, max_value=100.0))
+    schema.add(AttributeSpec("mux_capacity", AttributeKind.DYNAMIC, cutoff=2500.0,
+                             min_value=0.0, max_value=10000.0, unit="sessions"))
+    # Host-level attributes for the unified-homing architecture (§II-B's
+    # closing direction: one FOCUS searching hosts *and* sites).
+    schema.add(AttributeSpec("host_ram_mb", AttributeKind.DYNAMIC, cutoff=8192.0,
+                             min_value=0.0, max_value=65536.0, unit="MB"))
+    schema.add(AttributeSpec("host_vcpus", AttributeKind.DYNAMIC, cutoff=8.0,
+                             min_value=0.0, max_value=32.0))
+    for name in ("node_type", "service_type", "site_id", "owner", "sriov",
+                 "kvm_version", "lat", "lon"):
+        schema.add(AttributeSpec(name, AttributeKind.STATIC))
+    return schema
+
+
+def distance_miles(lat_a: float, lon_a: float, lat_b: float, lon_b: float) -> float:
+    """Great-circle distance in miles (Fig. 4b's "within 100 miles")."""
+    lat1, lon1, lat2, lon2 = map(math.radians, (lat_a, lon_a, lat_b, lon_b))
+    h = (
+        math.sin((lat2 - lat1) / 2) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin((lon2 - lon1) / 2) ** 2
+    )
+    return 2 * 6371.0 * math.asin(math.sqrt(h)) * MILES_PER_KM
+
+
+@dataclass
+class CloudSite:
+    """A provider-edge cloud site."""
+
+    site_id: str
+    region: str
+    lat: float
+    lon: float
+    owner: str = "sp"  # service-provider owned
+    sriov: bool = True
+    kvm_version: int = 22
+    site_vcpus: float = 256.0
+    site_ram_mb: float = 262144.0
+    upstream_mbps: float = 20000.0
+    tenant_quota: float = 80.0
+
+    @property
+    def node_id(self) -> str:
+        return f"site::{self.site_id}"
+
+    def static_attributes(self) -> Dict[str, object]:
+        return {
+            "node_type": "site",
+            "site_id": self.site_id,
+            "owner": self.owner,
+            "sriov": "yes" if self.sriov else "no",
+            "kvm_version": self.kvm_version,
+            "lat": self.lat,
+            "lon": self.lon,
+        }
+
+    def dynamic_attributes(self) -> Dict[str, float]:
+        return {
+            "site_vcpus": self.site_vcpus,
+            "site_ram_mb": self.site_ram_mb,
+            "upstream_mbps": self.upstream_mbps,
+            "tenant_quota": self.tenant_quota,
+        }
+
+
+@dataclass
+class VgMuxInstance:
+    """A shared vG multiplexer at a provider edge site."""
+
+    instance_id: str
+    site: CloudSite
+    #: customer VPN id -> VLAN tag carried by this mux.
+    vlan_tags: Dict[str, int] = field(default_factory=dict)
+    mux_capacity: float = 5000.0
+
+    @property
+    def node_id(self) -> str:
+        return f"vgmux::{self.instance_id}"
+
+    def static_attributes(self) -> Dict[str, object]:
+        attrs: Dict[str, object] = {
+            "node_type": "service",
+            "service_type": "vGMux",
+            "site_id": self.site.site_id,
+            "lat": self.site.lat,
+            "lon": self.site.lon,
+        }
+        for vpn_id, vlan in self.vlan_tags.items():
+            attrs[f"vpn::{vpn_id}"] = vlan
+        return attrs
+
+    def dynamic_attributes(self) -> Dict[str, float]:
+        return {"mux_capacity": self.mux_capacity}

@@ -1,0 +1,37 @@
+"""Simulated OpenStack Nova placement flow and its FOCUS integration (§IX).
+
+The paper replaces one seam inside the placement service::
+
+    cands = rp_obj.AllocationCandidates.get_by_requests(requests, limit)
+
+with::
+
+    cands = fc_obj.query(requests, limit)
+
+This package reproduces the surrounding system so that seam is exercised
+end-to-end: compute hosts with a fake libvirt/QEMU resource view, the
+message-queue-backed placement database (the stock path), the FOCUS-backed
+path, and the scheduler's ``select_destinations`` entry point. Spawning a VM
+allocates resources on the chosen host, which flows back into the host's
+reported attributes — so placement decisions change future query results,
+like a real cloud.
+"""
+
+from repro.openstack.compute import ComputeHost
+from repro.openstack.libvirt import FakeLibvirt, VirtualMachine
+from repro.openstack.placement import (
+    DbAllocationCandidates,
+    FocusAllocationCandidates,
+    PlacementRequest,
+)
+from repro.openstack.scheduler import Scheduler
+
+__all__ = [
+    "ComputeHost",
+    "DbAllocationCandidates",
+    "FakeLibvirt",
+    "FocusAllocationCandidates",
+    "PlacementRequest",
+    "Scheduler",
+    "VirtualMachine",
+]

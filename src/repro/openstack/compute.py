@@ -1,0 +1,140 @@
+"""Compute hosts: Nova compute node + hypervisor + reporting agent.
+
+A :class:`ComputeHost` owns a :class:`~repro.openstack.libvirt.FakeLibvirt`
+hypervisor and reports its resource view in one of two modes:
+
+* ``"focus"`` — a FOCUS :class:`~repro.core.agent.NodeAgent` collects free
+  resources from the hypervisor (the paper's augmented agent, §IX);
+* ``"mq"``    — the stock Nova path: state pushed through the message queue
+  to the placement database every second (§III-A).
+
+Either way the host serves ``compute.spawn`` / ``compute.destroy`` RPCs from
+the scheduler; spawning changes the hypervisor's free resources, which the
+reporting path picks up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.agent import NodeAgent
+from repro.core.config import FocusConfig
+from repro.openstack.libvirt import FakeLibvirt, VirtualMachine
+from repro.sim.loop import Simulator
+from repro.sim.network import Network, approx_size
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+
+NOVA_STATE_QUEUE = "nova-state"
+
+
+class ComputeHost(Process, RpcMixin):
+    """One physical host in the simulated cloud."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host_id: str,
+        region: str,
+        *,
+        mode: str = "focus",
+        hypervisor: Optional[FakeLibvirt] = None,
+        focus_address: str = "focus",
+        broker_address: Optional[str] = None,
+        config: Optional[FocusConfig] = None,
+        static: Optional[Dict[str, object]] = None,
+        push_interval: float = 1.0,
+    ) -> None:
+        Process.__init__(self, sim, network, f"{host_id}.compute", region)
+        self.init_rpc()
+        if mode not in ("focus", "mq"):
+            raise ValueError(f"unknown compute mode {mode!r}")
+        self.host_id = host_id
+        self.mode = mode
+        self.hypervisor = hypervisor or FakeLibvirt()
+        self.push_interval = push_interval
+        self.broker_address = broker_address
+        self.agent: Optional[NodeAgent] = None
+        if mode == "focus":
+            self.agent = NodeAgent(
+                sim,
+                network,
+                host_id,
+                region,
+                focus_address,
+                static=static,
+                dynamic=self.hypervisor.collect(),
+                config=config or FocusConfig(),
+                collector=self.hypervisor.collect,
+            )
+        elif broker_address is None:
+            raise ValueError("mq mode requires a broker_address")
+        self.serve("compute.spawn", self._rpc_spawn)
+        self.serve("compute.destroy", self._rpc_destroy)
+
+    # ------------------------------------------------------------- lifecycle
+    def on_start(self) -> None:
+        if self.agent is not None:
+            self.agent.start()
+        if self.mode == "mq":
+            self.send(self.broker_address, "mq.connect", {})
+            self.every(self.push_interval, self._push_state,
+                       jitter=self.push_interval * 0.2)
+
+    def on_stop(self) -> None:
+        if self.agent is not None:
+            self.agent.stop()
+
+    # ---------------------------------------------------------------- pushes
+    def _push_state(self) -> None:
+        body = {"node": self.host_id, "attrs": self._attributes()}
+        self.send(
+            self.broker_address,
+            "mq.publish",
+            {
+                "queue": NOVA_STATE_QUEUE,
+                "body": body,
+                "size": approx_size(body),
+                "sent_at": self.sim.now,
+            },
+        )
+
+    def _attributes(self) -> Dict[str, object]:
+        attrs: Dict[str, object] = {"region": self.region}
+        if self.agent is not None:
+            attrs.update(self.agent.static)
+        attrs.update(self.hypervisor.collect())
+        return attrs
+
+    def _refresh_agent(self) -> None:
+        """Refresh the node's local attribute view after a spawn/destroy.
+
+        In focus mode the agent's *local* values update immediately (they are
+        what the node itself answers queries with — end nodes are the source
+        of truth). In mq mode nothing happens here: the stock path only
+        learns about the change at the next periodic push (§III-A), which is
+        exactly the staleness the paper criticises.
+        """
+        if self.agent is not None:
+            for name, value in self.hypervisor.collect().items():
+                self.agent.set_attribute(name, value)
+
+    # ------------------------------------------------------------------ RPCs
+    def _rpc_spawn(self, params, respond, message):
+        vm = VirtualMachine(
+            name=str(params["name"]),
+            ram_mb=int(params["ram_mb"]),
+            disk_gb=int(params["disk_gb"]),
+            vcpus=int(params["vcpus"]),
+        )
+        ok = self.hypervisor.spawn(vm)
+        if ok:
+            self._refresh_agent()
+        return {"ok": ok, "host": self.host_id}
+
+    def _rpc_destroy(self, params, respond, message):
+        vm = self.hypervisor.destroy(str(params["name"]))
+        if vm is not None:
+            self._refresh_agent()
+        return {"ok": vm is not None}

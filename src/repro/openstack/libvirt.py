@@ -1,0 +1,105 @@
+"""Fake libvirt/QEMU: the node agent's source of host resource information.
+
+The paper augments its node agent with the libvirt virtualization library to
+gather resource information from the QEMU hypervisor (§IX). This module is
+the simulated equivalent: a per-host hypervisor holding total capacities and
+running VMs, exposing the free-resource view the agent's collector reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class VirtualMachine:
+    """A running domain, in libvirt terms."""
+
+    name: str
+    ram_mb: int
+    disk_gb: int
+    vcpus: int
+
+
+class FakeLibvirt:
+    """Hypervisor resource accounting for one host."""
+
+    def __init__(
+        self,
+        *,
+        total_ram_mb: int = 16384,
+        total_disk_gb: int = 100,
+        total_vcpus: int = 8,
+        base_cpu_percent: float = 5.0,
+    ) -> None:
+        self.total_ram_mb = total_ram_mb
+        self.total_disk_gb = total_disk_gb
+        self.total_vcpus = total_vcpus
+        self.base_cpu_percent = base_cpu_percent
+        self.domains: Dict[str, VirtualMachine] = {}
+
+    # ------------------------------------------------------------- inventory
+    @property
+    def used_ram_mb(self) -> int:
+        return sum(vm.ram_mb for vm in self.domains.values())
+
+    @property
+    def used_disk_gb(self) -> int:
+        return sum(vm.disk_gb for vm in self.domains.values())
+
+    @property
+    def used_vcpus(self) -> int:
+        return sum(vm.vcpus for vm in self.domains.values())
+
+    @property
+    def free_ram_mb(self) -> int:
+        return self.total_ram_mb - self.used_ram_mb
+
+    @property
+    def free_disk_gb(self) -> int:
+        return self.total_disk_gb - self.used_disk_gb
+
+    @property
+    def free_vcpus(self) -> int:
+        return self.total_vcpus - self.used_vcpus
+
+    def cpu_percent(self) -> float:
+        """Utilisation estimate: baseline plus load proportional to vCPU use."""
+        if self.total_vcpus == 0:
+            return self.base_cpu_percent
+        load = 90.0 * self.used_vcpus / self.total_vcpus
+        return min(100.0, self.base_cpu_percent + load)
+
+    # ------------------------------------------------------------- lifecycle
+    def can_fit(self, ram_mb: int, disk_gb: int, vcpus: int) -> bool:
+        return (
+            self.free_ram_mb >= ram_mb
+            and self.free_disk_gb >= disk_gb
+            and self.free_vcpus >= vcpus
+        )
+
+    def spawn(self, vm: VirtualMachine) -> bool:
+        """Create a domain; False if the host lacks capacity."""
+        if vm.name in self.domains:
+            raise ValueError(f"domain {vm.name!r} already exists")
+        if not self.can_fit(vm.ram_mb, vm.disk_gb, vm.vcpus):
+            return False
+        self.domains[vm.name] = vm
+        return True
+
+    def destroy(self, name: str) -> Optional[VirtualMachine]:
+        return self.domains.pop(name, None)
+
+    def list_domains(self) -> List[VirtualMachine]:
+        return list(self.domains.values())
+
+    # ------------------------------------------------------------- collector
+    def collect(self) -> Dict[str, float]:
+        """The attribute snapshot the node agent reports to FOCUS."""
+        return {
+            "ram_mb": float(self.free_ram_mb),
+            "disk_gb": float(self.free_disk_gb),
+            "vcpus": float(self.free_vcpus),
+            "cpu_percent": self.cpu_percent(),
+        }

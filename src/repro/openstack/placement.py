@@ -1,0 +1,163 @@
+"""The placement service's allocation-candidates backends (§IX).
+
+``PlacementRequest`` mirrors Nova's request object::
+
+    struct{ int limit, dict resources }
+
+with resources keyed the Nova way (``MEMORY_MB``, ``DISK_GB``, ``VCPU``).
+
+Two interchangeable backends provide ``get_by_requests``:
+
+* :class:`DbAllocationCandidates` — the stock path: compute hosts push state
+  through the message queue into this consumer's database; candidates come
+  from the (possibly stale) database.
+* :class:`FocusAllocationCandidates` — the paper's replacement: one call to
+  FOCUS (``fc_obj.query(requests, limit)``) performing a directed pull.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.query import Query, QueryTerm
+from repro.core.rest import FocusClient
+from repro.openstack.compute import NOVA_STATE_QUEUE
+from repro.sim.loop import Simulator
+from repro.sim.network import Message, Network
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+
+#: Nova resource-class names -> FOCUS attribute names.
+RESOURCE_ATTRIBUTES = {
+    "MEMORY_MB": "ram_mb",
+    "DISK_GB": "disk_gb",
+    "VCPU": "vcpus",
+}
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """A VM placement request: minimum resources plus a candidate limit."""
+
+    resources: Dict[str, int]
+    limit: int = 10
+
+    def __post_init__(self) -> None:
+        unknown = set(self.resources) - set(RESOURCE_ATTRIBUTES)
+        if unknown:
+            raise ValueError(f"unknown resource classes: {sorted(unknown)}")
+        if self.limit <= 0:
+            raise ValueError("limit must be positive")
+
+    def to_query(self, *, freshness_ms: float = 0.0) -> Query:
+        terms = [
+            QueryTerm.at_least(RESOURCE_ATTRIBUTES[name], float(amount))
+            for name, amount in sorted(self.resources.items())
+        ]
+        return Query(terms, limit=self.limit, freshness_ms=freshness_ms)
+
+
+@dataclass
+class Candidate:
+    """One allocation candidate returned to the scheduler."""
+
+    host: str
+    free: Dict[str, float] = field(default_factory=dict)
+    region: str = ""
+
+
+def _candidates_from_matches(matches: List[dict]) -> List[Candidate]:
+    candidates = []
+    for match in matches:
+        attrs = match.get("attrs", {})
+        candidates.append(
+            Candidate(
+                host=str(match["node"]),
+                free={
+                    "MEMORY_MB": float(attrs.get("ram_mb", 0.0)),
+                    "DISK_GB": float(attrs.get("disk_gb", 0.0)),
+                    "VCPU": float(attrs.get("vcpus", 0.0)),
+                },
+                region=str(match.get("region", "")),
+            )
+        )
+    return candidates
+
+
+class DbAllocationCandidates(Process, RpcMixin):
+    """Stock backend: a DB fed by the nova-state queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        region: str,
+        broker_address: str,
+        *,
+        processing_delay: float = 0.04,
+    ) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.broker_address = broker_address
+        self.processing_delay = processing_delay
+        self.states: Dict[str, dict] = {}
+
+    def on_start(self) -> None:
+        self.send(self.broker_address, "mq.subscribe", {"queue": NOVA_STATE_QUEUE})
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind == "mq.deliver":
+            body = message.payload["body"]
+            self.states[body["node"]] = body["attrs"]
+            return
+        super().handle_message(message)
+
+    def get_by_requests(
+        self,
+        request: PlacementRequest,
+        on_reply: Callable[[List[Candidate]], None],
+    ) -> None:
+        query = request.to_query()
+        matches = []
+        for node, attrs in self.states.items():
+            if query.matches(attrs):
+                matches.append({"node": node, "attrs": attrs,
+                                "region": attrs.get("region", "")})
+                if len(matches) >= request.limit:
+                    break
+        self.sim.schedule(self.processing_delay, on_reply,
+                          _candidates_from_matches(matches))
+
+
+class FocusAllocationCandidates:
+    """The paper's replacement: ``cands = fc_obj.query(requests, limit)``.
+
+    Bound to any RPC-capable host process (typically the scheduler itself).
+    Supports placement queries out of the box; other query families are a
+    matter of adding methods here (§IX).
+    """
+
+    def __init__(self, host, focus_address: str = "focus", *, freshness_ms: float = 0.0) -> None:
+        self.client = FocusClient(host, focus_address)
+        self.freshness_ms = freshness_ms
+
+    def query(
+        self,
+        request: PlacementRequest,
+        on_reply: Callable[[List[Candidate]], None],
+    ) -> None:
+        focus_query = request.to_query(freshness_ms=self.freshness_ms)
+        self.client.query(
+            focus_query,
+            lambda response: on_reply(_candidates_from_matches(response.matches)),
+        )
+
+    def get_by_requests(
+        self,
+        request: PlacementRequest,
+        on_reply: Callable[[List[Candidate]], None],
+    ) -> None:
+        """Same signature as the DB backend, so the scheduler can't tell."""
+        self.query(request, on_reply)

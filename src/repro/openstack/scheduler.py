@@ -1,0 +1,249 @@
+"""The Nova scheduler: ``select_destinations`` and VM spawning (Fig. 6).
+
+The flow reproduced end-to-end:
+
+1. a scheduler client calls ``select_destinations(spec)``;
+2. the scheduler asks the placement backend for allocation candidates;
+3. it picks a candidate (most free RAM first) and asks that compute host to
+   spawn the VM;
+4. a stale candidate may refuse (insufficient capacity — the data was pushed
+   before another VM landed); the scheduler retries down the candidate list,
+   counting retries so experiments can compare staleness across backends.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.openstack.placement import Candidate, PlacementRequest
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+
+
+@dataclass
+class ScheduleOutcome:
+    """Result of one placement attempt."""
+
+    ok: bool
+    host: Optional[str] = None
+    attempts: int = 0
+    candidates: int = 0
+    error: Optional[str] = None
+
+
+class Scheduler(Process, RpcMixin):
+    """Nova scheduler with a pluggable allocation-candidates backend."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        address: str,
+        region: str,
+        *,
+        spawn_timeout: float = 3.0,
+        host_subset_size: int = 3,
+    ) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.backend = None  # set via attach_backend
+        self.spawn_timeout = spawn_timeout
+        #: Nova's anti-herd knob: pick randomly among the top-k candidates
+        #: so concurrent schedulers don't all pile onto the same best host.
+        self.host_subset_size = max(1, host_subset_size)
+        self._vm_counter = itertools.count()
+        self._rng = sim.derive_rng(f"scheduler/{address}")
+        self.outcomes: List[ScheduleOutcome] = []
+
+    def attach_backend(self, backend) -> None:
+        """Attach a DbAllocationCandidates or FocusAllocationCandidates."""
+        self.backend = backend
+
+    def select_destinations(
+        self,
+        request: PlacementRequest,
+        on_done: Callable[[ScheduleOutcome], None],
+        *,
+        vm_name: Optional[str] = None,
+        reschedules: int = 1,
+    ) -> None:
+        """Find a host and spawn the VM there; retries stale candidates.
+
+        If every candidate refuses (they all filled up since the data was
+        fetched), the whole request is re-scheduled with a fresh candidate
+        query up to ``reschedules`` times — Nova's re-scheduling behaviour.
+        """
+        if self.backend is None:
+            raise RuntimeError("scheduler has no placement backend attached")
+        name = vm_name or f"vm-{next(self._vm_counter)}"
+
+        def complete(outcome: ScheduleOutcome) -> None:
+            if not outcome.ok and outcome.candidates > 0 and reschedules > 0:
+                def reschedule() -> None:
+                    self.select_destinations(
+                        request, on_done, vm_name=name,
+                        reschedules=reschedules - 1,
+                    )
+
+                self.after(0.5, reschedule)
+                return
+            self.outcomes.append(outcome)
+            on_done(outcome)
+
+        def have_candidates(candidates: List[Candidate]) -> None:
+            ordered = sorted(
+                candidates, key=lambda c: c.free.get("MEMORY_MB", 0.0), reverse=True
+            )
+            # host_subset_size: shuffle the top-k so concurrent requests
+            # spread instead of herding onto one best host.
+            k = min(self.host_subset_size, len(ordered))
+            if k > 1:
+                head = ordered[:k]
+                self._rng.shuffle(head)
+                ordered[:k] = head
+            self._try_spawn(request, name, ordered, 0, complete)
+
+        self.backend.get_by_requests(request, have_candidates)
+
+    def _try_spawn(
+        self,
+        request: PlacementRequest,
+        name: str,
+        candidates: List[Candidate],
+        index: int,
+        on_done: Callable[[ScheduleOutcome], None],
+    ) -> None:
+        if index >= len(candidates):
+            on_done(
+                ScheduleOutcome(
+                    ok=False,
+                    attempts=index,
+                    candidates=len(candidates),
+                    error="no valid host" if candidates else "no candidates",
+                )
+            )
+            return
+        target = candidates[index]
+
+        def on_reply(result) -> None:
+            if result.get("ok"):
+                on_done(
+                    ScheduleOutcome(
+                        ok=True,
+                        host=target.host,
+                        attempts=index + 1,
+                        candidates=len(candidates),
+                    )
+                )
+            else:
+                # Stale candidate: the host filled up since its last report.
+                self._try_spawn(request, name, candidates, index + 1, on_done)
+
+        self.call(
+            f"{target.host}.compute",
+            "compute.spawn",
+            {
+                "name": name,
+                "ram_mb": request.resources.get("MEMORY_MB", 0),
+                "disk_gb": request.resources.get("DISK_GB", 0),
+                "vcpus": request.resources.get("VCPU", 0),
+            },
+            on_reply=on_reply,
+            on_timeout=lambda: self._try_spawn(
+                request, name, candidates, index + 1, on_done
+            ),
+            timeout=self.spawn_timeout,
+        )
+
+    # ---------------------------------------------------------------- migration
+    def migrate(
+        self,
+        vm_name: str,
+        source_host: str,
+        resources: Dict[str, int],
+        on_done: Callable[[ScheduleOutcome], None],
+        *,
+        limit: int = 10,
+    ) -> None:
+        """Live migration (Table I): placement that excludes the source host,
+        then move the VM — spawn on the destination, destroy on the source.
+        """
+        request = PlacementRequest(resources, limit=limit)
+
+        def have_candidates(candidates: List[Candidate]) -> None:
+            ordered = sorted(
+                (c for c in candidates if c.host != source_host),
+                key=lambda c: c.free.get("MEMORY_MB", 0.0),
+                reverse=True,
+            )
+            self._try_migrate(vm_name, source_host, request, ordered, 0, on_done)
+
+        self.backend.get_by_requests(request, have_candidates)
+
+    def _try_migrate(self, vm_name, source_host, request, candidates, index, on_done):
+        if index >= len(candidates):
+            outcome = ScheduleOutcome(
+                ok=False, attempts=index, candidates=len(candidates),
+                error="no valid migration target",
+            )
+            self.outcomes.append(outcome)
+            on_done(outcome)
+            return
+        target = candidates[index]
+
+        def destroyed(result) -> None:
+            outcome = ScheduleOutcome(
+                ok=True, host=target.host, attempts=index + 1,
+                candidates=len(candidates),
+            )
+            self.outcomes.append(outcome)
+            on_done(outcome)
+
+        def spawned(result) -> None:
+            if not result.get("ok"):
+                self._try_migrate(
+                    vm_name, source_host, request, candidates, index + 1, on_done
+                )
+                return
+            # Destination is up; release the source (post-copy completes).
+            self.call(
+                f"{source_host}.compute",
+                "compute.destroy",
+                {"name": vm_name},
+                on_reply=destroyed,
+                on_timeout=lambda: destroyed({}),
+                timeout=self.spawn_timeout,
+            )
+
+        self.call(
+            f"{target.host}.compute",
+            "compute.spawn",
+            {
+                "name": vm_name,
+                "ram_mb": request.resources.get("MEMORY_MB", 0),
+                "disk_gb": request.resources.get("DISK_GB", 0),
+                "vcpus": request.resources.get("VCPU", 0),
+            },
+            on_reply=spawned,
+            on_timeout=lambda: self._try_migrate(
+                vm_name, source_host, request, candidates, index + 1, on_done
+            ),
+            timeout=self.spawn_timeout,
+        )
+
+    # ------------------------------------------------------------ statistics
+    def retry_rate(self) -> float:
+        """Average spawn attempts per successful placement (staleness cost)."""
+        successes = [o for o in self.outcomes if o.ok]
+        if not successes:
+            return float("nan")
+        return sum(o.attempts for o in successes) / len(successes)
+
+    def failure_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if not o.ok) / len(self.outcomes)

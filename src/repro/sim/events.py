@@ -1,0 +1,103 @@
+"""Event queue primitives for the simulation kernel.
+
+Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing tie-breaker, so same-time events fire in scheduling order and runs
+are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are created by the :class:`~repro.sim.loop.Simulator`; user code
+    normally only sees the :class:`TimerHandle` wrapper.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} seq={self.seq} cb={name}{state}>"
+
+
+class TimerHandle:
+    """Cancellation handle returned by ``Simulator.schedule``."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time at which the event fires."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an already-fired or already-cancelled event is a no-op.
+        """
+        self._event.cancelled = True
+
+
+class EventQueue:
+    """A heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple) -> Event:
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        self._heap.clear()

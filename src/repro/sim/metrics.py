@@ -1,0 +1,249 @@
+"""Metrics primitives: counters, gauges, histograms, time series, bandwidth.
+
+The paper's evaluation reports bandwidth at the query server (Fig. 7a), query
+latency percentiles (Fig. 7b/7c/8c), server CPU/RAM (Fig. 8a) and node-agent
+bandwidth (Fig. 8b). These primitives are the measurement substrate for all
+of those: every network send is accounted against the sender's and receiver's
+:class:`BandwidthMeter`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down, with peak tracking."""
+
+    __slots__ = ("name", "value", "peak")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.peak = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+class Histogram:
+    """Stores raw observations; exact percentiles on demand.
+
+    Benchmark sweeps observe at most a few hundred thousand samples, so
+    keeping raw values is affordable and avoids bucketing error in the
+    reported percentiles.
+    """
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    def mean(self) -> float:
+        if not self._values:
+            return math.nan
+        return sum(self._values) / len(self._values)
+
+    def min(self) -> float:
+        return min(self._values) if self._values else math.nan
+
+    def max(self) -> float:
+        return max(self._values) if self._values else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._values:
+            return math.nan
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        if len(self._values) == 1:
+            return self._values[0]
+        rank = (p / 100) * (len(self._values) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return self._values[low]
+        frac = rank - low
+        return self._values[low] * (1 - frac) + self._values[high] * frac
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p75": self.percentile(75),
+            "p99": self.percentile(99),
+            "max": self.max(),
+        }
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` samples with windowed aggregation."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        return [(t, v) for t, v in self.samples if start <= t <= end]
+
+    def mean_over(self, start: float, end: float) -> float:
+        window = self.window(start, end)
+        if not window:
+            return math.nan
+        return sum(v for _, v in window) / len(window)
+
+
+class BandwidthMeter:
+    """Byte accounting for one endpoint.
+
+    Tracks totals and a time series of per-message sizes so benchmarks can
+    compute average KB/s over any measurement window.
+    """
+
+    __slots__ = ("name", "bytes_sent", "bytes_received", "messages_sent",
+                 "messages_received", "_sent_events", "_recv_events",
+                 "record_events")
+
+    def __init__(self, name: str, *, record_events: bool = True) -> None:
+        self.name = name
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self._sent_events: List[Tuple[float, int]] = []
+        self._recv_events: List[Tuple[float, int]] = []
+        self.record_events = record_events
+
+    def on_send(self, time: float, size: int) -> None:
+        self.bytes_sent += size
+        self.messages_sent += 1
+        if self.record_events:
+            self._sent_events.append((time, size))
+
+    def on_receive(self, time: float, size: int) -> None:
+        self.bytes_received += size
+        self.messages_received += 1
+        if self.record_events:
+            self._recv_events.append((time, size))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    def bytes_in_window(self, start: float, end: float) -> int:
+        """Total bytes (both directions) in ``[start, end]``.
+
+        Requires ``record_events=True``.
+        """
+        total = 0
+        for events in (self._sent_events, self._recv_events):
+            for t, size in events:
+                if start <= t <= end:
+                    total += size
+        return total
+
+    def rate_bps(self, start: float, end: float) -> float:
+        """Average bytes/second (both directions) over the window."""
+        duration = end - start
+        if duration <= 0:
+            raise ValueError("window must have positive duration")
+        return self.bytes_in_window(start, end) / duration
+
+    def reset(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+        self._sent_events.clear()
+        self._recv_events.clear()
+
+
+class MetricsRegistry:
+    """Named registry so components can share metric instances."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def names(self) -> Dict[str, Iterable[str]]:
+        return {
+            "counters": sorted(self._counters),
+            "gauges": sorted(self._gauges),
+            "histograms": sorted(self._histograms),
+            "timeseries": sorted(self._series),
+        }
+
+    def get_counter(self, name: str) -> Optional[Counter]:
+        return self._counters.get(name)

@@ -1,0 +1,240 @@
+"""Simulated network: message delivery with latency, loss and accounting.
+
+Endpoints register under a string address. ``send`` estimates the wire size
+of the payload (JSON-oriented, matching the paper's JSON REST API and Serf's
+UDP messages), accounts it against both endpoints' bandwidth meters, and
+schedules delivery after the topology-derived one-way latency plus jitter.
+
+Failure injection: per-pair blocks and region partitions let tests exercise
+the store's quorum behaviour and SWIM's suspicion mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional, Protocol, Set, Tuple
+
+from repro.errors import NetworkError
+from repro.sim.loop import Simulator
+from repro.sim.metrics import BandwidthMeter, MetricsRegistry
+from repro.sim.topology import Topology
+
+#: Fixed per-message framing overhead (UDP/IP or minimal HTTP), bytes.
+MESSAGE_OVERHEAD_BYTES = 60
+
+
+def approx_size(payload: object) -> int:
+    """Approximate the JSON-encoded size of ``payload`` in bytes.
+
+    This intentionally avoids actually serialising every message (the
+    simulator sends millions); the estimate matches ``len(json.dumps(...))``
+    within a few percent for the dict/list/str/number payloads used here.
+    """
+    if payload is None:
+        return 4
+    if payload is True or payload is False:
+        return 5
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload) + 2
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 2 + sum(approx_size(item) + 1 for item in payload)
+    if isinstance(payload, dict):
+        return 2 + sum(
+            approx_size(key) + approx_size(value) + 2 for key, value in payload.items()
+        )
+    # Fallback for unexpected objects: size of their repr.
+    return len(repr(payload))
+
+
+class Message:
+    """A message in flight. ``payload`` should be JSON-able."""
+
+    __slots__ = ("kind", "payload", "src", "dst", "size", "sent_at")
+
+    def __init__(
+        self,
+        kind: str,
+        payload: object,
+        src: str,
+        dst: str,
+        size: int,
+        sent_at: float,
+    ) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.sent_at = sent_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Message {self.kind} {self.src}->{self.dst} {self.size}B>"
+
+
+class Endpoint(Protocol):
+    """Anything that can be attached to the network."""
+
+    address: str
+    region: str
+
+    def handle_message(self, message: Message) -> None:
+        """Called on delivery of each message addressed to this endpoint."""
+
+
+class Network:
+    """Latency- and bandwidth-accounted message fabric.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock drives deliveries.
+    topology:
+        Region latency model.
+    loss_rate:
+        Probability that any message is silently dropped (failure injection).
+    record_bandwidth_events:
+        When ``True`` (default) meters keep per-message timestamped events so
+        windows can be measured; disable for very large runs to save memory.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Optional[Topology] = None,
+        *,
+        loss_rate: float = 0.0,
+        jitter_fraction: float = 0.1,
+        record_bandwidth_events: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology if topology is not None else Topology()
+        self.loss_rate = loss_rate
+        self.jitter_fraction = jitter_fraction
+        self.record_bandwidth_events = record_bandwidth_events
+        self.metrics = MetricsRegistry()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._meters: Dict[str, BandwidthMeter] = {}
+        self._blocked: Set[FrozenSet[str]] = set()
+        self._blocked_regions: Set[FrozenSet[str]] = set()
+        self._rng = sim.derive_rng("network")
+        self._delivery_taps: list[Callable[[Message], None]] = []
+
+    # ------------------------------------------------------------ membership
+    def register(self, endpoint: Endpoint) -> None:
+        if endpoint.address in self._endpoints:
+            raise NetworkError(f"address {endpoint.address!r} already registered")
+        if endpoint.region not in {r.name for r in self.topology.regions}:
+            raise NetworkError(
+                f"endpoint {endpoint.address!r} placed in unknown region "
+                f"{endpoint.region!r}"
+            )
+        self._endpoints[endpoint.address] = endpoint
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    def is_registered(self, address: str) -> bool:
+        return address in self._endpoints
+
+    def endpoint(self, address: str) -> Endpoint:
+        try:
+            return self._endpoints[address]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {address!r}") from None
+
+    def meter(self, address: str) -> BandwidthMeter:
+        if address not in self._meters:
+            self._meters[address] = BandwidthMeter(
+                address, record_events=self.record_bandwidth_events
+            )
+        return self._meters[address]
+
+    # ------------------------------------------------------- failure control
+    def block(self, address_a: str, address_b: str) -> None:
+        """Drop all traffic between two addresses (both directions)."""
+        self._blocked.add(frozenset((address_a, address_b)))
+
+    def unblock(self, address_a: str, address_b: str) -> None:
+        self._blocked.discard(frozenset((address_a, address_b)))
+
+    def partition_regions(self, region_a: str, region_b: str) -> None:
+        """Drop all traffic between two regions (both directions)."""
+        self._blocked_regions.add(frozenset((region_a, region_b)))
+
+    def heal_regions(self, region_a: str, region_b: str) -> None:
+        self._blocked_regions.discard(frozenset((region_a, region_b)))
+
+    def heal_all(self) -> None:
+        self._blocked.clear()
+        self._blocked_regions.clear()
+
+    def add_delivery_tap(self, tap: Callable[[Message], None]) -> None:
+        """Register a callback invoked on every successful delivery."""
+        self._delivery_taps.append(tap)
+
+    # ---------------------------------------------------------------- sending
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: object,
+        *,
+        size: Optional[int] = None,
+    ) -> None:
+        """Send a message; delivery is scheduled, never synchronous.
+
+        Unknown destinations and blocked/partitioned pairs silently drop the
+        message (that is what the real network does); the loss is counted in
+        ``metrics.counter("messages_dropped")``.
+        """
+        sender = self._endpoints.get(src)
+        if sender is None:
+            raise NetworkError(f"send from unregistered endpoint {src!r}")
+        wire_size = (size if size is not None else approx_size(payload)) + MESSAGE_OVERHEAD_BYTES
+        now = self.sim.now
+        self.meter(src).on_send(now, wire_size)
+        self.metrics.counter("messages_sent").inc()
+        self.metrics.counter("bytes_sent").inc(wire_size)
+
+        message = Message(kind, payload, src, dst, wire_size, now)
+        if self._should_drop(message, sender):
+            self.metrics.counter("messages_dropped").inc()
+            return
+        latency = self._latency(sender, dst)
+        self.sim.schedule(latency, self._deliver, message)
+
+    def _should_drop(self, message: Message, sender: Endpoint) -> bool:
+        if frozenset((message.src, message.dst)) in self._blocked:
+            return True
+        receiver = self._endpoints.get(message.dst)
+        if receiver is not None:
+            pair = frozenset((sender.region, receiver.region))
+            if pair in self._blocked_regions:
+                return True
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            return True
+        return False
+
+    def _latency(self, sender: Endpoint, dst: str) -> float:
+        receiver = self._endpoints.get(dst)
+        dst_region = receiver.region if receiver is not None else sender.region
+        base = self.topology.latency(sender.region, dst_region)
+        if self.jitter_fraction > 0:
+            return base * (1.0 + self._rng.random() * self.jitter_fraction)
+        return base
+
+    def _deliver(self, message: Message) -> None:
+        receiver = self._endpoints.get(message.dst)
+        if receiver is None:
+            # Endpoint died or was never there; the message is lost.
+            self.metrics.counter("messages_dropped").inc()
+            return
+        self.meter(message.dst).on_receive(self.sim.now, message.size)
+        self.metrics.counter("messages_delivered").inc()
+        for tap in self._delivery_taps:
+            tap(message)
+        receiver.handle_message(message)

@@ -1,0 +1,140 @@
+"""Process helpers: a network-attached endpoint base class and periodic tasks.
+
+Almost every component in the reproduction (Serf agents, store replicas, the
+FOCUS service, baseline servers, node agents) is a :class:`Process` — an
+addressable endpoint with a message dispatch table and lifecycle hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.loop import RepeatingTimer, Simulator
+from repro.sim.network import Message, Network
+
+
+class Process:
+    """A network endpoint with kind-based message dispatch.
+
+    Subclasses register handlers with :meth:`on` (usually in ``__init__``)
+    and start periodic work in :meth:`start`. ``stop`` cancels all timers and
+    detaches from the network, which models a process crash: in-flight
+    messages to it are dropped.
+    """
+
+    def __init__(self, sim: Simulator, network: Network, address: str, region: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.region = region
+        self.running = False
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._timers: List[RepeatingTimer] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Attach to the network and begin periodic work."""
+        if self.running:
+            raise SimulationError(f"{self.address} already started")
+        self.network.register(self)
+        self.running = True
+        self.on_start()
+
+    def stop(self) -> None:
+        """Detach from the network and cancel all periodic work (a crash)."""
+        if not self.running:
+            return
+        self.running = False
+        for timer in self._timers:
+            timer.stop()
+        self._timers.clear()
+        self.network.unregister(self.address)
+        self.on_stop()
+
+    def on_start(self) -> None:
+        """Subclass hook; schedule periodic tasks here."""
+
+    def on_stop(self) -> None:
+        """Subclass hook; release resources here."""
+
+    # -------------------------------------------------------------- messaging
+    def on(self, kind: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages of ``kind``."""
+        if kind in self._handlers:
+            raise SimulationError(f"{self.address}: duplicate handler for {kind!r}")
+        self._handlers[kind] = handler
+
+    def handle_message(self, message: Message) -> None:
+        if not self.running:
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            self.on_unhandled(message)
+            return
+        handler(message)
+
+    def on_unhandled(self, message: Message) -> None:
+        """Called for messages with no registered handler; default drops."""
+
+    def send(self, dst: str, kind: str, payload: object, *, size: Optional[int] = None) -> None:
+        if not self.running:
+            return
+        self.network.send(self.address, dst, kind, payload, size=size)
+
+    # ----------------------------------------------------------------- timers
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        jitter: float = 0.0,
+        start_delay: Optional[float] = None,
+    ) -> RepeatingTimer:
+        """Run ``callback`` periodically until the process stops."""
+        timer = self.sim.call_every(
+            interval,
+            callback,
+            jitter=jitter,
+            rng=self.sim.derive_rng(f"{self.address}/timer/{len(self._timers)}"),
+            start_delay=start_delay,
+        )
+        self._timers.append(timer)
+        return timer
+
+    def after(self, delay: float, callback: Callable[..., None], *args: object):
+        """One-shot timer; fires only while the process is running."""
+
+        def guarded(*call_args: object) -> None:
+            if self.running:
+                callback(*call_args)
+
+        return self.sim.schedule(delay, guarded, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "up" if self.running else "down"
+        return f"<{type(self).__name__} {self.address} ({self.region}) {state}>"
+
+
+class PeriodicTask:
+    """A named periodic task owned by a process; thin wrapper for tests.
+
+    Provided for components that want to expose their timers (e.g. the node
+    agent exposes its collection and gossip tasks so tests can assert on
+    their intervals).
+    """
+
+    def __init__(self, name: str, timer: RepeatingTimer) -> None:
+        self.name = name
+        self._timer = timer
+
+    @property
+    def interval(self) -> float:
+        return self._timer.interval
+
+    @property
+    def stopped(self) -> bool:
+        return self._timer.stopped
+
+    def stop(self) -> None:
+        self._timer.stop()

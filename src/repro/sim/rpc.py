@@ -1,0 +1,122 @@
+"""Request/response layer on top of the raw network.
+
+FOCUS exposes REST APIs (Jetty in the paper); the store coordinator issues
+quorum reads/writes; baselines pull node state on demand. All of these are
+request/response exchanges with timeouts, implemented here once.
+
+A process mixes in :class:`RpcMixin` (after :class:`~repro.sim.process.Process`
+in the MRO) and then:
+
+* serves calls by registering ``self.serve("focus.query", fn)`` where ``fn``
+  takes the request payload and either returns a response payload or calls
+  ``responder(payload)`` later for asynchronous completion;
+* issues calls with ``self.call(dst, "focus.query", payload, on_reply=...,
+  on_timeout=..., timeout=...)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from repro.sim.network import Message
+
+REQUEST_KIND = "rpc.request"
+RESPONSE_KIND = "rpc.response"
+
+#: Sentinel returned by an RPC server function that will respond later.
+DEFERRED = object()
+
+
+class PendingCall:
+    """Book-keeping for one outstanding outbound call."""
+
+    __slots__ = ("call_id", "method", "on_reply", "timer", "sent_at")
+
+    def __init__(self, call_id, method, on_reply, timer, sent_at) -> None:
+        self.call_id = call_id
+        self.method = method
+        self.on_reply = on_reply
+        self.timer = timer
+        self.sent_at = sent_at
+
+
+class RpcMixin:
+    """Adds call/serve semantics to a :class:`~repro.sim.process.Process`."""
+
+    _rpc_counter = itertools.count()
+
+    def init_rpc(self) -> None:
+        """Must be called from the subclass ``__init__`` after ``Process.__init__``."""
+        self._rpc_pending: Dict[str, PendingCall] = {}
+        self._rpc_methods: Dict[str, Callable] = {}
+        self.on(REQUEST_KIND, self._rpc_on_request)
+        self.on(RESPONSE_KIND, self._rpc_on_response)
+
+    # ---------------------------------------------------------------- server
+    def serve(self, method: str, fn: Callable) -> None:
+        """Register ``fn(payload, respond, message)`` for ``method``.
+
+        ``fn`` may return a payload (sent immediately), or return
+        :data:`DEFERRED` and invoke ``respond(payload)`` at any later time.
+        """
+        self._rpc_methods[method] = fn
+
+    def _rpc_on_request(self, message: Message) -> None:
+        payload = message.payload
+        method = payload["method"]
+        call_id = payload["id"]
+        fn = self._rpc_methods.get(method)
+
+        def respond(result: object) -> None:
+            self.send(
+                message.src,
+                RESPONSE_KIND,
+                {"id": call_id, "method": method, "result": result},
+            )
+
+        if fn is None:
+            respond({"error": f"unknown method {method!r}"})
+            return
+        result = fn(payload["params"], respond, message)
+        if result is not DEFERRED:
+            respond(result)
+
+    # ---------------------------------------------------------------- client
+    def call(
+        self,
+        dst: str,
+        method: str,
+        params: object,
+        *,
+        on_reply: Callable[[object], None],
+        timeout: float = 5.0,
+        on_timeout: Optional[Callable[[], None]] = None,
+    ) -> str:
+        """Issue a call; exactly one of ``on_reply``/``on_timeout`` fires."""
+        call_id = f"{self.address}#{next(self._rpc_counter)}"
+
+        def timed_out() -> None:
+            pending = self._rpc_pending.pop(call_id, None)
+            if pending is not None and on_timeout is not None:
+                on_timeout()
+
+        timer = self.sim.schedule(timeout, timed_out)
+        self._rpc_pending[call_id] = PendingCall(
+            call_id, method, on_reply, timer, self.sim.now
+        )
+        self.send(dst, REQUEST_KIND, {"id": call_id, "method": method, "params": params})
+        return call_id
+
+    def cancel_call(self, call_id: str) -> None:
+        pending = self._rpc_pending.pop(call_id, None)
+        if pending is not None:
+            pending.timer.cancel()
+
+    def _rpc_on_response(self, message: Message) -> None:
+        payload = message.payload
+        pending = self._rpc_pending.pop(payload["id"], None)
+        if pending is None:
+            return  # late reply after timeout; drop
+        pending.timer.cancel()
+        pending.on_reply(payload["result"])

@@ -1,0 +1,22 @@
+"""Cassandra-equivalent replicated table store.
+
+FOCUS keeps its durable state — registrar tables (one per static attribute),
+group tables, and the transition table — in a Cassandra cluster (§VIII-A).
+This package provides the same table model over a small replicated KV store:
+consistent-hash placement, N-way replication, quorum reads/writes with
+last-write-wins timestamp reconciliation, and full-scan queries.
+"""
+
+from repro.store.cluster import StoreClient, StoreCluster
+from repro.store.hashring import ConsistentHashRing
+from repro.store.replica import StoreReplica
+from repro.store.table import Row, Table
+
+__all__ = [
+    "ConsistentHashRing",
+    "Row",
+    "StoreClient",
+    "StoreCluster",
+    "StoreReplica",
+    "Table",
+]

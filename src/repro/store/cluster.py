@@ -1,0 +1,270 @@
+"""Quorum coordinator client and cluster factory.
+
+:class:`StoreClient` gives any RPC-capable process Cassandra-style table
+operations: writes go to the key's N replicas and complete at W acks, reads
+query the replicas and complete at R responses with last-write-wins
+reconciliation plus read repair. :class:`StoreCluster` wires up the replica
+processes across regions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import QuorumError
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+from repro.store.hashring import ConsistentHashRing
+from repro.store.replica import StoreReplica
+from repro.store.table import Row
+
+
+class _QuorumOp:
+    """Tracks one multi-replica operation until quorum or failure."""
+
+    def __init__(self, total: int, needed: int, on_done, on_error) -> None:
+        self.total = total
+        self.needed = needed
+        self.on_done = on_done
+        self.on_error = on_error
+        self.successes: List[object] = []
+        self.failures = 0
+        self.finished = False
+
+    def succeed(self, result: object) -> None:
+        if self.finished:
+            return
+        self.successes.append(result)
+        if len(self.successes) >= self.needed:
+            self.finished = True
+            self.on_done(self.successes)
+
+    def fail(self) -> None:
+        if self.finished:
+            return
+        self.failures += 1
+        if self.total - self.failures < self.needed:
+            self.finished = True
+            if self.on_error is not None:
+                self.on_error(
+                    QuorumError(
+                        f"quorum unreachable: {self.failures}/{self.total} failed, "
+                        f"needed {self.needed}"
+                    )
+                )
+
+
+class StoreClient:
+    """Quorum read/write client bound to a host process.
+
+    The host must provide ``call`` (see :class:`repro.sim.rpc.RpcMixin`) and a
+    ``sim`` attribute for timestamps.
+    """
+
+    def __init__(
+        self,
+        host,
+        ring: ConsistentHashRing,
+        *,
+        replication_factor: int = 3,
+        write_quorum: int = 2,
+        read_quorum: int = 2,
+        timeout: float = 2.0,
+    ) -> None:
+        if write_quorum > replication_factor or read_quorum > replication_factor:
+            raise ValueError("quorum cannot exceed replication factor")
+        self.host = host
+        self.ring = ring
+        self.replication_factor = replication_factor
+        self.write_quorum = write_quorum
+        self.read_quorum = read_quorum
+        self.timeout = timeout
+
+    # ----------------------------------------------------------------- writes
+    def put(
+        self,
+        table: str,
+        key: str,
+        value: Dict[str, object],
+        *,
+        on_done: Optional[Callable[[], None]] = None,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        replicas = self.ring.nodes_for(key, self.replication_factor)
+        if not replicas:
+            raise QuorumError("store has no replicas")
+        op = _QuorumOp(
+            len(replicas),
+            min(self.write_quorum, len(replicas)),
+            lambda results: on_done() if on_done is not None else None,
+            on_error,
+        )
+        params = {"table": table, "key": key, "value": value, "ts": self.host.sim.now}
+        for replica in replicas:
+            self.host.call(
+                replica,
+                "store.put",
+                params,
+                on_reply=lambda result, op=op: op.succeed(result),
+                on_timeout=op.fail,
+                timeout=self.timeout,
+            )
+
+    def delete(
+        self,
+        table: str,
+        key: str,
+        *,
+        on_done: Optional[Callable[[], None]] = None,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        replicas = self.ring.nodes_for(key, self.replication_factor)
+        op = _QuorumOp(
+            len(replicas),
+            min(self.write_quorum, len(replicas)),
+            lambda results: on_done() if on_done is not None else None,
+            on_error,
+        )
+        params = {"table": table, "key": key, "ts": self.host.sim.now}
+        for replica in replicas:
+            self.host.call(
+                replica,
+                "store.delete",
+                params,
+                on_reply=lambda result, op=op: op.succeed(result),
+                on_timeout=op.fail,
+                timeout=self.timeout,
+            )
+
+    # ------------------------------------------------------------------ reads
+    def get(
+        self,
+        table: str,
+        key: str,
+        on_done: Callable[[Optional[Row]], None],
+        *,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        replicas = self.ring.nodes_for(key, self.replication_factor)
+        if not replicas:
+            raise QuorumError("store has no replicas")
+
+        def reconcile(results: List[object]) -> None:
+            newest: Optional[Row] = None
+            for result in results:
+                wire = result.get("row") if isinstance(result, dict) else None
+                if wire is None:
+                    continue
+                row = Row.from_wire(wire)
+                if newest is None or row.timestamp > newest.timestamp:
+                    newest = row
+            if newest is not None:
+                self._read_repair(table, replicas, newest)
+            on_done(newest)
+
+        op = _QuorumOp(
+            len(replicas), min(self.read_quorum, len(replicas)), reconcile, on_error
+        )
+        params = {"table": table, "key": key}
+        for replica in replicas:
+            self.host.call(
+                replica,
+                "store.get",
+                params,
+                on_reply=lambda result, op=op: op.succeed(result),
+                on_timeout=op.fail,
+                timeout=self.timeout,
+            )
+
+    def _read_repair(self, table: str, replicas: List[str], newest: Row) -> None:
+        """Push the newest version back to all replicas (idempotent by ts)."""
+        params = {
+            "table": table,
+            "key": newest.key,
+            "value": newest.value,
+            "ts": newest.timestamp,
+        }
+        for replica in replicas:
+            self.host.call(
+                replica,
+                "store.put",
+                params,
+                on_reply=lambda result: None,
+                timeout=self.timeout,
+            )
+
+    def scan(
+        self,
+        table: str,
+        on_done: Callable[[List[Row]], None],
+        *,
+        limit: Optional[int] = None,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        """Merge rows from every replica (newest version per key wins)."""
+        replicas = self.ring.nodes
+        if not replicas:
+            raise QuorumError("store has no replicas")
+
+        def merge(results: List[object]) -> None:
+            merged: Dict[str, Row] = {}
+            for result in results:
+                for wire in result.get("rows", ()):
+                    row = Row.from_wire(wire)
+                    current = merged.get(row.key)
+                    if current is None or row.timestamp > current.timestamp:
+                        merged[row.key] = row
+            rows = list(merged.values())
+            if limit is not None:
+                rows = rows[:limit]
+            on_done(rows)
+
+        # A full scan must cover the whole ring; require all replicas so no
+        # token range is missed (our tables are small).
+        op = _QuorumOp(len(replicas), len(replicas), merge, on_error)
+        for replica in replicas:
+            self.host.call(
+                replica,
+                "store.scan",
+                {"table": table, "limit": None},
+                on_reply=lambda result, op=op: op.succeed(result),
+                on_timeout=op.fail,
+                timeout=self.timeout,
+            )
+
+
+class StoreCluster:
+    """Factory owning a set of replicas and the placement ring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        num_replicas: int = 3,
+        region: Optional[str] = None,
+        name: str = "store",
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.ring = ConsistentHashRing()
+        self.replicas: List[StoreReplica] = []
+        regions = [r.name for r in network.topology.regions]
+        for i in range(num_replicas):
+            replica_region = region if region is not None else regions[i % len(regions)]
+            replica = StoreReplica(sim, network, f"{name}-replica-{i}", replica_region)
+            replica.start()
+            self.replicas.append(replica)
+            self.ring.add_node(replica.address)
+
+    def client_for(self, host, **kwargs) -> StoreClient:
+        """Create a quorum client bound to ``host`` (an RPC-capable process)."""
+        defaults = {"replication_factor": min(3, len(self.replicas))}
+        quorum = defaults["replication_factor"] // 2 + 1
+        defaults.update({"write_quorum": quorum, "read_quorum": quorum})
+        defaults.update(kwargs)
+        return StoreClient(host, self.ring, **defaults)
+
+    def stop(self) -> None:
+        for replica in self.replicas:
+            replica.stop()

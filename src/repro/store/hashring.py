@@ -1,0 +1,86 @@
+"""Consistent hashing ring with virtual nodes.
+
+Used by the store coordinator to place each key's replica set, Cassandra
+style: the key hashes to a point on the ring and the next N distinct
+physical nodes clockwise own the replicas.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List
+
+
+def _hash(value: str) -> int:
+    return int.from_bytes(hashlib.md5(value.encode()).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps keys to replica nodes.
+
+    Parameters
+    ----------
+    virtual_nodes:
+        Tokens per physical node; more tokens → smoother balance.
+    """
+
+    def __init__(self, virtual_nodes: int = 64) -> None:
+        self.virtual_nodes = virtual_nodes
+        self._tokens: List[int] = []
+        self._owner: Dict[int, str] = {}
+        self._nodes: set = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for i in range(self.virtual_nodes):
+            token = _hash(f"{node}#{i}")
+            # md5 collisions across distinct vnode labels are not a practical
+            # concern; last writer wins if one ever occurs.
+            self._owner[token] = node
+            bisect.insort(self._tokens, token)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        for i in range(self.virtual_nodes):
+            token = _hash(f"{node}#{i}")
+            if self._owner.get(token) == node:
+                del self._owner[token]
+                index = bisect.bisect_left(self._tokens, token)
+                if index < len(self._tokens) and self._tokens[index] == token:
+                    self._tokens.pop(index)
+
+    def nodes_for(self, key: str, count: int) -> List[str]:
+        """The first ``count`` distinct nodes clockwise from the key's token."""
+        if not self._nodes:
+            return []
+        count = min(count, len(self._nodes))
+        start = bisect.bisect_right(self._tokens, _hash(key))
+        replicas: List[str] = []
+        seen = set()
+        for offset in range(len(self._tokens)):
+            token = self._tokens[(start + offset) % len(self._tokens)]
+            owner = self._owner[token]
+            if owner not in seen:
+                seen.add(owner)
+                replicas.append(owner)
+                if len(replicas) == count:
+                    break
+        return replicas
+
+    def primary_for(self, key: str) -> str:
+        replicas = self.nodes_for(key, 1)
+        if not replicas:
+            raise ValueError("ring is empty")
+        return replicas[0]

@@ -1,0 +1,59 @@
+"""A storage replica process.
+
+Serves get/put/delete/scan RPCs over its local tables. Placement and quorum
+logic live in the coordinator (:mod:`repro.store.cluster`); the replica is
+deliberately dumb, like a Cassandra storage node from the coordinator's
+perspective.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+from repro.store.table import Row, Table
+
+
+class StoreReplica(Process, RpcMixin):
+    """One replica node holding a shard of every table."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str, region: str) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.tables: Dict[str, Table] = {}
+        self.serve("store.get", self._rpc_get)
+        self.serve("store.put", self._rpc_put)
+        self.serve("store.delete", self._rpc_delete)
+        self.serve("store.scan", self._rpc_scan)
+
+    def table(self, name: str) -> Table:
+        if name not in self.tables:
+            self.tables[name] = Table(name)
+        return self.tables[name]
+
+    # ------------------------------------------------------------------ RPCs
+    def _rpc_get(self, params, respond, message):
+        table = self.tables.get(params["table"])
+        row: Optional[Row] = table.get(params["key"]) if table is not None else None
+        return {"row": row.to_wire() if row is not None else None}
+
+    def _rpc_put(self, params, respond, message):
+        applied = self.table(params["table"]).put(
+            params["key"], params["value"], params["ts"]
+        )
+        return {"ok": True, "applied": applied}
+
+    def _rpc_delete(self, params, respond, message):
+        applied = self.table(params["table"]).delete(params["key"], params["ts"])
+        return {"ok": True, "applied": applied}
+
+    def _rpc_scan(self, params, respond, message):
+        table = self.tables.get(params["table"])
+        if table is None:
+            return {"rows": []}
+        limit = params.get("limit")
+        rows = table.scan(limit=limit)
+        return {"rows": [row.to_wire() for row in rows]}

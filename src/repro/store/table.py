@@ -1,0 +1,93 @@
+"""Table and row model.
+
+The Registrar creates one table per *static* attribute (§VIII-A1). Each row
+holds the node id, the attribute value, a catch-all dict of the node's other
+attributes (so multi-attribute queries touch a single table), and a write
+timestamp used for last-write-wins reconciliation:
+
+    | node ID    | arch | attributes | timestamp  |
+    | IP address | x86  | {cores:8}  | time value |
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class Row:
+    """A versioned row. Greater ``timestamp`` wins on merge."""
+
+    __slots__ = ("key", "value", "timestamp")
+
+    def __init__(self, key: str, value: Dict[str, object], timestamp: float) -> None:
+        self.key = key
+        self.value = value
+        self.timestamp = timestamp
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"k": self.key, "v": self.value, "ts": self.timestamp}
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, object]) -> "Row":
+        return cls(str(data["k"]), dict(data["v"]), float(data["ts"]))  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<Row {self.key} ts={self.timestamp:.3f}>"
+
+
+class Table:
+    """An in-memory keyed table with last-write-wins semantics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._rows: Dict[str, Row] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows.values())
+
+    def get(self, key: str) -> Optional[Row]:
+        return self._rows.get(key)
+
+    def put(self, key: str, value: Dict[str, object], timestamp: float) -> bool:
+        """Write if ``timestamp`` is newer; returns True if applied."""
+        current = self._rows.get(key)
+        if current is not None and current.timestamp > timestamp:
+            return False
+        self._rows[key] = Row(key, value, timestamp)
+        return True
+
+    def delete(self, key: str, timestamp: float) -> bool:
+        """Delete if the stored row is not newer than ``timestamp``."""
+        current = self._rows.get(key)
+        if current is None:
+            return False
+        if current.timestamp > timestamp:
+            return False
+        del self._rows[key]
+        return True
+
+    def scan(
+        self,
+        predicate: Optional[Callable[[Row], bool]] = None,
+        limit: Optional[int] = None,
+    ) -> List[Row]:
+        """All rows matching ``predicate``, up to ``limit``."""
+        rows = []
+        for row in self._rows.values():
+            if predicate is None or predicate(row):
+                rows.append(row)
+                if limit is not None and len(rows) >= limit:
+                    break
+        return rows
+
+    def keys(self) -> List[str]:
+        return list(self._rows.keys())
+
+    def items(self) -> List[Tuple[str, Row]]:
+        return list(self._rows.items())

@@ -1,0 +1,98 @@
+"""Attribute dynamics: keep node state changing the way real hosts do.
+
+The paper's whole premise is *highly dynamic* state — free RAM, CPU
+utilisation and disk change continuously, which in FOCUS drives group moves.
+:class:`WorkloadDriver` applies a bounded random walk to every node's dynamic
+attributes on a fixed tick.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.attributes import AttributeSchema, openstack_schema
+from repro.sim.loop import Simulator
+
+
+@dataclass
+class AttributeDynamics:
+    """Random-walk parameters for one attribute.
+
+    ``volatility`` is the standard deviation of one step as a fraction of the
+    attribute's value range; values reflect off the range boundaries.
+    """
+
+    name: str
+    volatility: float = 0.02
+    min_value: float = 0.0
+    max_value: float = 100.0
+
+    def step(self, value: float, rng: random.Random) -> float:
+        span = self.max_value - self.min_value
+        value += rng.gauss(0.0, self.volatility * span)
+        # Reflect at the boundaries so values don't pile up at the edges.
+        if value < self.min_value:
+            value = 2 * self.min_value - value
+        if value > self.max_value:
+            value = 2 * self.max_value - value
+        return max(self.min_value, min(self.max_value, value))
+
+
+def default_dynamics(schema: AttributeSchema = None, volatility: float = 0.02) -> List[AttributeDynamics]:
+    """Random-walk models for every dynamic attribute in the schema."""
+    schema = schema or openstack_schema()
+    dynamics = []
+    for name, spec in schema.dynamic().items():
+        high = spec.max_value if spec.max_value != float("inf") else 100.0
+        dynamics.append(
+            AttributeDynamics(name, volatility=volatility, min_value=spec.min_value, max_value=high)
+        )
+    return dynamics
+
+
+class WorkloadDriver:
+    """Applies attribute random walks to a set of nodes on a fixed tick.
+
+    Works with anything exposing ``dynamic`` (dict) and ``set_attribute``:
+    FOCUS :class:`~repro.core.agent.NodeAgent` and every baseline node.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: Sequence,
+        *,
+        dynamics: Sequence[AttributeDynamics] = None,
+        tick_interval: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.nodes = list(nodes)
+        self.dynamics = list(dynamics) if dynamics is not None else default_dynamics()
+        self.tick_interval = tick_interval
+        self._rng = random.Random(f"workload/{seed}")
+        self._timer = None
+        self.ticks = 0
+
+    def start(self) -> None:
+        if self._timer is not None:
+            raise RuntimeError("driver already started")
+        self._timer = self.sim.call_every(self.tick_interval, self.tick, rng=self._rng)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def tick(self) -> None:
+        self.ticks += 1
+        for node in self.nodes:
+            if not getattr(node, "running", True):
+                continue
+            for dynamics in self.dynamics:
+                current = node.dynamic.get(dynamics.name)
+                if current is None:
+                    continue
+                node.set_attribute(dynamics.name, dynamics.step(current, self._rng))

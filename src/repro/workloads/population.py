@@ -1,0 +1,50 @@
+"""Node population specs shared by FOCUS and the baselines.
+
+Fig. 7a compares systems over the *same* node population, so the attribute
+assignment must be a pure function of ``(seed, index)`` — each system builds
+its own simulator but sees identical nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+from repro.core.attributes import AttributeSchema, openstack_schema
+
+
+def node_spec_factory(
+    seed: int,
+    schema: AttributeSchema = None,
+) -> Callable[[int, str], Dict[str, object]]:
+    """Deterministic ``(index, region) -> node spec`` factory.
+
+    The spec carries the paper's four dynamic evaluation attributes with
+    randomised initial values ("randomness factor", §X-A fn. 3) plus the
+    common static attributes.
+    """
+    schema = schema or openstack_schema()
+
+    def factory(index: int, region: str) -> Dict[str, object]:
+        rng = random.Random(f"{seed}/node/{index}")
+        dynamic = {}
+        for name, spec in schema.dynamic().items():
+            high = spec.max_value if spec.max_value != float("inf") else 100.0
+            value = rng.uniform(spec.min_value, high)
+            if name == "vcpus":
+                value = float(int(value))
+            dynamic[name] = value
+        static = {
+            "arch": "x86" if index % 8 else "arm64",
+            "cores": 8 if index % 3 else 16,
+            "service_type": "compute" if index % 5 else "scheduler",
+            "project_id": f"project-{index % 10}",
+            "site": f"site-{region}",
+        }
+        return {
+            "node_id": f"node-{index:05d}",
+            "static": static,
+            "dynamic": dynamic,
+        }
+
+    return factory

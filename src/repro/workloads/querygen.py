@@ -1,0 +1,141 @@
+"""Query generators modelled on the paper's Table I (OpenStack use cases).
+
+Four categories:
+
+* **placement** — hosts meeting new/migrated VM resource requirements;
+* **service status** — hosts by service type (static attribute);
+* **tenant report** — hosts belonging to a project id (static attribute);
+* **hot spot** — active/idle hosts by CPU utilisation bounds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.query import Query, QueryTerm
+
+#: OpenStack-flavor-like (ram_mb, disk_gb, vcpus) demands, sized so every
+#: flavor is satisfiable by the testbed host profile (16 GB / 100 GB / 8 vCPU).
+FLAVORS = (
+    (512, 1, 1),      # m1.tiny
+    (2048, 20, 1),    # m1.small
+    (4096, 40, 2),    # m1.medium
+    (8192, 60, 4),    # m1.large
+    (12288, 80, 8),   # m1.xlarge
+)
+
+
+def placement_query(
+    rng: random.Random,
+    *,
+    limit: int = 10,
+    freshness_ms: float = 0.0,
+) -> Query:
+    """A VM-placement query drawn from the flavor distribution."""
+    ram, disk, vcpus = rng.choices(FLAVORS, weights=(10, 35, 30, 18, 7))[0]
+    return Query(
+        [
+            QueryTerm.at_least("ram_mb", ram),
+            QueryTerm.at_least("disk_gb", disk),
+            QueryTerm.at_least("vcpus", vcpus),
+        ],
+        limit=limit,
+        freshness_ms=freshness_ms,
+    )
+
+
+def grouped_placement_query(
+    rng: random.Random,
+    *,
+    cutoffs: Optional[dict] = None,
+    limit: Optional[int] = None,
+    freshness_ms: float = 0.0,
+) -> Query:
+    """A placement query in the paper's directed-pull idiom (§VI).
+
+    "Retrieve nodes with 4 GB of RAM" is expressed as the *range of the
+    group containing the demand* — [4096, 6144) with a 2048 cutoff — so
+    FOCUS pulls exactly one group family; secondary constraints stay as
+    greater-than bounds and are filtered by the nodes themselves.
+    """
+    cutoffs = cutoffs or {"ram_mb": 2048.0}
+    ram, disk, vcpus = rng.choices(FLAVORS, weights=(10, 35, 30, 18, 7))[0]
+    cutoff = cutoffs["ram_mb"]
+    base = (ram // int(cutoff)) * int(cutoff)
+    return Query(
+        [
+            QueryTerm("ram_mb", lower=float(ram), upper=base + cutoff - 1e-6),
+            QueryTerm.at_least("disk_gb", disk),
+            QueryTerm.at_least("vcpus", vcpus),
+        ],
+        limit=limit,
+        freshness_ms=freshness_ms,
+    )
+
+
+def service_status_query(rng: random.Random, *, limit: Optional[int] = None) -> Query:
+    """Table I 'Verify Service Status': hosts by service type."""
+    service = rng.choice(("compute", "scheduler"))
+    return Query([QueryTerm.exact("service_type", service)], limit=limit)
+
+
+def tenant_report_query(rng: random.Random, *, limit: Optional[int] = None) -> Query:
+    """Table I 'Tenant Usage Reports': hosts belonging to a project id."""
+    project = f"project-{rng.randrange(10)}"
+    return Query([QueryTerm.exact("project_id", project)], limit=limit)
+
+
+def hot_spot_query(rng: random.Random, *, limit: Optional[int] = None) -> Query:
+    """Table I 'Hot Spot Detection': active (busy) or idle hosts by CPU."""
+    if rng.random() < 0.5:
+        return Query([QueryTerm.at_least("cpu_percent", 75.0)], limit=limit)  # active
+    return Query([QueryTerm.at_most("cpu_percent", 25.0)], limit=limit)  # idle
+
+
+class QueryWorkload:
+    """Weighted mix of the Table I query categories."""
+
+    CATEGORIES = {
+        "placement": placement_query,
+        "service_status": service_status_query,
+        "tenant_report": tenant_report_query,
+        "hot_spot": hot_spot_query,
+    }
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        weights: Optional[dict] = None,
+        limit: int = 10,
+        freshness_ms: float = 0.0,
+    ) -> None:
+        self._rng = random.Random(f"querygen/{seed}")
+        self.weights = weights or {
+            "placement": 0.7,
+            "service_status": 0.1,
+            "tenant_report": 0.1,
+            "hot_spot": 0.1,
+        }
+        unknown = set(self.weights) - set(self.CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown query categories: {sorted(unknown)}")
+        self.limit = limit
+        self.freshness_ms = freshness_ms
+
+    def next_query(self) -> Query:
+        category = self._rng.choices(
+            list(self.weights.keys()), weights=list(self.weights.values())
+        )[0]
+        generator = self.CATEGORIES[category]
+        if category == "placement":
+            return generator(self._rng, limit=self.limit, freshness_ms=self.freshness_ms)
+        return generator(self._rng, limit=self.limit)
+
+    def batch(self, count: int) -> List[Query]:
+        return [self.next_query() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[Query]:
+        while True:
+            yield self.next_query()

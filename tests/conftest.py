@@ -1,0 +1,22 @@
+"""Shared fixtures: a simulator, a network, and helpers to build agents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Network, Simulator, Topology
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    return Network(sim, Topology())
+
+
+@pytest.fixture
+def regions(network: Network):
+    return [r.name for r in network.topology.regions]

@@ -1,0 +1,65 @@
+"""Tests for the benchmark-JSON to markdown report tool."""
+
+import json
+
+import pytest
+
+from repro.harness.benchreport import extract_tables, main, to_markdown
+
+SAMPLE = {
+    "benchmarks": [
+        {
+            "name": "test_fig7a",
+            "group": "fig7a",
+            "stats": {"mean": 42.5},
+            "extra_info": {
+                "tables": [
+                    {
+                        "title": "Fig. 7a — bandwidth",
+                        "headers": ["system", "KB/s"],
+                        "rows": [["focus", "34.7"], ["naive-push", "426.2"]],
+                    }
+                ]
+            },
+        },
+        {"name": "test_no_tables", "stats": {"mean": 1.0}, "extra_info": {}},
+    ]
+}
+
+
+class TestExtract:
+    def test_extracts_tables(self):
+        tables = extract_tables(SAMPLE)
+        assert len(tables) == 1
+        assert tables[0]["benchmark"] == "test_fig7a"
+        assert tables[0]["rows"][0] == ["focus", "34.7"]
+
+    def test_empty_document(self):
+        assert extract_tables({}) == []
+
+
+class TestMarkdown:
+    def test_renders_table(self):
+        markdown = to_markdown(extract_tables(SAMPLE))
+        assert "## Fig. 7a — bandwidth" in markdown
+        assert "| system | KB/s |" in markdown
+        assert "| focus | 34.7 |" in markdown
+        assert "42.5 s wall" in markdown
+
+
+class TestMain:
+    def test_end_to_end(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(SAMPLE))
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Benchmark results" in out
+        assert "naive-push" in out
+
+    def test_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_no_tables_error(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"benchmarks": []}))
+        assert main([str(path)]) == 1

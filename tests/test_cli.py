@@ -1,0 +1,87 @@
+"""Tests for the focus-repro command-line interface."""
+
+import argparse
+
+import pytest
+
+from repro.cli import build_parser, main, parse_term
+
+
+class TestTermParsing:
+    def test_at_least(self):
+        term = parse_term("ram_mb>=4096")
+        assert term.name == "ram_mb"
+        assert term.lower == 4096.0
+        assert term.upper is None
+
+    def test_at_most(self):
+        term = parse_term("cpu_percent <= 50")
+        assert term.upper == 50.0
+
+    def test_string_equality(self):
+        term = parse_term("arch==x86")
+        assert term.equals == "x86"
+
+    def test_numeric_equality(self):
+        term = parse_term("vcpus==4")
+        assert term.lower == term.upper == 4.0
+
+    def test_bad_syntax_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_term("ram_mb !! 4096")
+
+    def test_string_bound_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_term("arch>=fast")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_terms(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert capsys.readouterr().out.strip()
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ram_mb" in out
+        assert "fanout" in out
+
+    def test_demo_small(self, capsys):
+        assert main(["demo", "--nodes", "16", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "attribute groups formed" in out
+        assert "matches" in out
+
+    def test_query_command(self, capsys):
+        assert main([
+            "query", "--nodes", "16", "--seed", "3", "--limit", "3",
+            "--term", "ram_mb>=1024", "--term", "cpu_percent<=90",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "matches" in out
+        assert "node-" in out
+
+    def test_trace_command(self, capsys):
+        assert main(["trace", "--nodes", "50", "--events", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p99" in out
+
+    def test_compare_command(self, capsys):
+        assert main([
+            "compare", "--nodes", "60", "--queries", "3",
+            "--baseline", "naive-push",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "focus" in out
+        assert "naive-push" in out

@@ -1,0 +1,147 @@
+"""Tests for node-agent behaviours: moves, representatives, collectors."""
+
+import pytest
+
+from repro.core.config import FocusConfig
+from repro.core.query import Query, QueryTerm
+from repro.harness import build_focus_cluster, drain, run_query
+
+
+class TestGroupMoves:
+    def test_attribute_change_moves_group(self):
+        scenario = build_focus_cluster(16, seed=3, with_store=False)
+        drain(scenario, 12.0)
+        agent = scenario.agents[0]
+        old_group = agent.memberships["ram_mb"].group
+        # Push the value far outside the current group's range.
+        low, high = agent.memberships["ram_mb"].low, agent.memberships["ram_mb"].high
+        new_value = high + 3000.0 if high + 3000.0 < 16384 else low - 3000.0
+        agent.set_attribute("ram_mb", new_value)
+        drain(scenario, 10.0)
+        membership = agent.memberships["ram_mb"]
+        assert membership.group != old_group
+        assert membership.contains(new_value)
+
+    def test_move_updates_service_view(self):
+        scenario = build_focus_cluster(16, seed=4, with_store=False)
+        drain(scenario, 12.0)
+        agent = scenario.agents[1]
+        agent.set_attribute("cpu_percent", (agent.dynamic["cpu_percent"] + 50) % 100)
+        drain(scenario, 12.0)
+        service_groups = scenario.service.dgm.groups.groups_of_node(agent.node_id)
+        agent_groups = {m.group for m in agent.memberships.values()}
+        assert {g.name for g in service_groups} == agent_groups
+
+    def test_within_range_change_does_not_move(self):
+        scenario = build_focus_cluster(8, seed=5, with_store=False)
+        drain(scenario, 10.0)
+        agent = scenario.agents[0]
+        membership = agent.memberships["disk_gb"]
+        group = membership.group
+        middle = (membership.low + membership.high) / 2
+        agent.set_attribute("disk_gb", middle)
+        drain(scenario, 5.0)
+        assert agent.memberships["disk_gb"].group == group
+
+    def test_value_changing_mid_move_is_chased(self):
+        """If the attribute changes again while a suggestion is in flight,
+        the agent keeps moving until its group contains the current value."""
+        scenario = build_focus_cluster(16, seed=45, with_store=False)
+        drain(scenario, 12.0)
+        agent = scenario.agents[3]
+        # Two immediate updates: the second lands while the first move's
+        # suggestion RPC is still in flight.
+        agent.set_attribute("ram_mb", 500.0)
+        agent.set_attribute("ram_mb", 15000.0)
+        drain(scenario, 15.0)
+        membership = agent.memberships["ram_mb"]
+        assert membership.contains(15000.0), membership.group
+
+    def test_moved_node_still_queryable(self):
+        scenario = build_focus_cluster(16, seed=6, with_store=False)
+        drain(scenario, 12.0)
+        agent = scenario.agents[2]
+        agent.set_attribute("ram_mb", 15000.0)
+        drain(scenario, 1.0)  # mid-transition: covered by transition table
+        query = Query([QueryTerm.at_least("ram_mb", 14000.0)], freshness_ms=0.0)
+        response = run_query(scenario, query)
+        assert agent.node_id in response.node_ids
+
+
+class TestCollector:
+    def test_collector_feeds_attributes(self):
+        ticks = []
+
+        def collector_factory(agent):
+            def collect():
+                ticks.append(agent.node_id)
+                return {"cpu_percent": 55.5}
+
+            return collect
+
+        scenario = build_focus_cluster(
+            4, seed=7, with_store=False, collector_factory=collector_factory
+        )
+        drain(scenario, 10.0)
+        assert ticks
+        assert all(a.dynamic["cpu_percent"] == 55.5 for a in scenario.agents)
+
+
+class TestRepresentatives:
+    def test_representative_uploads_member_list(self):
+        scenario = build_focus_cluster(12, seed=8, with_store=False)
+        drain(scenario, 15.0)
+        reports = scenario.service.metrics.get_counter("group_reports")
+        assert reports is not None and reports.value > 0
+
+    def test_excess_representatives_trimmed_and_demoted(self):
+        """Appoint one rep too many; the DGM trims back to the target and
+        the demoted agent stops its report timer after the next reply."""
+        scenario = build_focus_cluster(12, seed=9, with_store=False)
+        drain(scenario, 15.0)
+        service = scenario.service
+        group = next(g for g in service.dgm.groups.all_groups() if len(g.members) > 2)
+        extra_id = next(n for n in sorted(group.members) if n not in group.representatives)
+        group.representatives.add(extra_id)
+        service.dgm._send_appointment(group, extra_id)
+        drain(scenario, scenario.config.report_interval * 3 + 2.0)
+        target = scenario.config.representatives_per_group
+        group_after = service.dgm.groups.get(group.name)
+        assert len(group_after.representatives) == target
+        reporting = 0
+        for node_id in group.members:
+            agent = scenario.agent(node_id)
+            for membership in agent.memberships.values():
+                if membership.group == group.name and membership.report_timer is not None:
+                    reporting += 1
+        assert reporting == target
+
+    def test_new_representative_appointed_after_crash(self):
+        scenario = build_focus_cluster(12, seed=10, with_store=False)
+        drain(scenario, 15.0)
+        service = scenario.service
+        group = next(g for g in service.dgm.groups.all_groups() if len(g.members) >= 3)
+        rep_id = next(iter(group.representatives))
+        scenario.agent(rep_id).stop()
+        drain(scenario, 40.0)  # failure detection + next reports
+        group_after = service.dgm.groups.get(group.name)
+        assert group_after.representatives
+        assert rep_id not in group_after.representatives
+
+
+class TestRegistrationRetry:
+    def test_agent_retries_until_service_up(self, sim, network, regions):
+        from repro.core.agent import NodeAgent
+        from repro.core.service import FocusService
+
+        agent = NodeAgent(
+            sim, network, "n1", regions[0], "focus",
+            dynamic={"ram_mb": 1000.0}, config=FocusConfig(),
+        )
+        agent.start()
+        sim.run_until(5.0)
+        assert not agent.registered
+        service = FocusService(sim, network, region=regions[0], config=agent.config)
+        service.start()
+        sim.run_until(20.0)
+        assert agent.registered

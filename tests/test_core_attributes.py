@@ -1,0 +1,83 @@
+"""Unit tests for the attribute schema."""
+
+import pytest
+
+from repro.core.attributes import (
+    AttributeKind,
+    AttributeSchema,
+    AttributeSpec,
+    openstack_schema,
+)
+from repro.errors import GroupError
+
+
+class TestSpec:
+    def test_dynamic_requires_cutoff(self):
+        with pytest.raises(GroupError):
+            AttributeSpec("x", AttributeKind.DYNAMIC)
+
+    def test_dynamic_cutoff_must_be_positive(self):
+        with pytest.raises(GroupError):
+            AttributeSpec("x", AttributeKind.DYNAMIC, cutoff=0)
+
+    def test_static_rejects_cutoff(self):
+        with pytest.raises(GroupError):
+            AttributeSpec("x", AttributeKind.STATIC, cutoff=5.0)
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(GroupError):
+            AttributeSpec("x", AttributeKind.DYNAMIC, cutoff=1.0,
+                          min_value=10, max_value=5)
+
+    def test_clamp(self):
+        spec = AttributeSpec("x", AttributeKind.DYNAMIC, cutoff=1.0,
+                             min_value=0, max_value=10)
+        assert spec.clamp(-5) == 0
+        assert spec.clamp(15) == 10
+        assert spec.clamp(5) == 5
+
+
+class TestSchema:
+    def test_add_and_get(self):
+        schema = AttributeSchema()
+        spec = AttributeSpec("ram", AttributeKind.DYNAMIC, cutoff=2048.0)
+        schema.add(spec)
+        assert schema.get("ram") is spec
+        assert "ram" in schema
+
+    def test_duplicate_rejected(self):
+        schema = AttributeSchema()
+        schema.add(AttributeSpec("a", AttributeKind.STATIC))
+        with pytest.raises(GroupError):
+            schema.add(AttributeSpec("a", AttributeKind.STATIC))
+
+    def test_unknown_get_raises(self):
+        with pytest.raises(GroupError):
+            AttributeSchema().get("missing")
+        assert AttributeSchema().maybe_get("missing") is None
+
+    def test_dynamic_static_partition(self):
+        schema = openstack_schema()
+        dynamic = set(schema.dynamic())
+        static = set(schema.static())
+        assert dynamic & static == set()
+        assert len(dynamic) + len(static) == len(schema)
+
+    def test_cutoffs(self):
+        cutoffs = openstack_schema().cutoffs()
+        assert cutoffs["cpu_percent"] == 25.0
+        assert cutoffs["ram_mb"] == 2048.0
+        assert "arch" not in cutoffs
+
+
+class TestPaperSchema:
+    def test_paper_cutoffs(self):
+        """§X-A: {CPU usage: 25%, vCPUs: 2, RAM_MB: 2048MB, disk: 5GB}."""
+        schema = openstack_schema()
+        assert schema.get("cpu_percent").cutoff == 25.0
+        assert schema.get("vcpus").cutoff == 2.0
+        assert schema.get("ram_mb").cutoff == 2048.0
+        assert schema.get("disk_gb").cutoff == 5.0
+
+    def test_four_dynamic_attributes(self):
+        assert len(openstack_schema().dynamic()) == 4

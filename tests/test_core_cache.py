@@ -1,0 +1,70 @@
+"""Unit tests for the query response cache."""
+
+from repro.core.cache import QueryCache
+from repro.core.query import Query, QueryTerm
+
+
+def q(freshness_ms=1000.0, limit=None, lower=1.0):
+    return Query([QueryTerm.at_least("x", lower)], limit=limit, freshness_ms=freshness_ms)
+
+
+class TestFreshness:
+    def test_hit_within_freshness(self):
+        cache = QueryCache()
+        cache.store(q(), [{"node": "a"}], now=10.0)
+        assert cache.lookup(q(), now=10.5) == [{"node": "a"}]
+
+    def test_miss_when_stale(self):
+        cache = QueryCache()
+        cache.store(q(), [{"node": "a"}], now=10.0)
+        assert cache.lookup(q(freshness_ms=100.0), now=10.5) is None
+
+    def test_zero_freshness_always_bypasses(self):
+        cache = QueryCache()
+        cache.store(q(), [{"node": "a"}], now=10.0)
+        assert cache.lookup(q(freshness_ms=0.0), now=10.0) is None
+
+    def test_miss_on_unknown_query(self):
+        assert QueryCache().lookup(q(), now=0.0) is None
+
+    def test_different_bounds_are_different_entries(self):
+        cache = QueryCache()
+        cache.store(q(lower=1.0), [{"node": "a"}], now=0.0)
+        assert cache.lookup(q(lower=2.0), now=0.1) is None
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        cache = QueryCache(max_entries=2)
+        cache.store(q(lower=1.0), [], now=0.0)
+        cache.store(q(lower=2.0), [], now=0.0)
+        cache.lookup(q(lower=1.0), now=0.1)  # touch 1 -> 2 becomes LRU
+        cache.store(q(lower=3.0), [], now=0.2)
+        assert cache.lookup(q(lower=2.0), now=0.3) is None
+        assert cache.lookup(q(lower=1.0), now=0.3) is not None
+
+    def test_len_bounded(self):
+        cache = QueryCache(max_entries=4)
+        for i in range(20):
+            cache.store(q(lower=float(i)), [], now=0.0)
+        assert len(cache) == 4
+
+    def test_invalidate_all(self):
+        cache = QueryCache()
+        cache.store(q(), [], now=0.0)
+        cache.invalidate_all()
+        assert len(cache) == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = QueryCache()
+        cache.store(q(), [], now=0.0)
+        cache.lookup(q(), now=0.1)            # hit
+        cache.lookup(q(lower=9.0), now=0.1)   # miss
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert QueryCache().hit_rate == 0.0

@@ -1,0 +1,80 @@
+"""Tests for the §XII extensions: per-group fanout and normalizers."""
+
+import pytest
+
+from repro.core.attributes import AttributeKind, AttributeSchema, AttributeSpec
+from repro.core.config import FocusConfig
+from repro.harness import build_focus_cluster, drain
+
+
+class TestFanoutOverrides:
+    def test_default_fanout(self):
+        config = FocusConfig()
+        assert config.fanout_for("ram_mb") == config.serf.gossip_fanout
+
+    def test_override_applies(self):
+        config = FocusConfig(fanout_overrides={"cpu_percent": 12})
+        assert config.fanout_for("cpu_percent") == 12
+        assert config.fanout_for("ram_mb") == config.serf.gossip_fanout
+
+    def test_suggestion_carries_fanout(self):
+        config = FocusConfig(fanout_overrides={"cpu_percent": 12})
+        scenario = build_focus_cluster(8, seed=61, with_store=False, config=config)
+        drain(scenario, 10.0)
+        for agent in scenario.agents:
+            cpu_serf = agent.memberships["cpu_percent"].serf
+            ram_serf = agent.memberships["ram_mb"].serf
+            assert cpu_serf.config.gossip_fanout == 12
+            assert ram_serf.config.gossip_fanout == config.serf.gossip_fanout
+
+    def test_override_does_not_mutate_shared_config(self):
+        config = FocusConfig(fanout_overrides={"cpu_percent": 12})
+        scenario = build_focus_cluster(4, seed=62, with_store=False, config=config)
+        drain(scenario, 10.0)
+        assert config.serf.gossip_fanout == 4
+
+
+class TestNormalizers:
+    def make_schema(self):
+        schema = AttributeSchema()
+        schema.add(
+            AttributeSpec(
+                "ram_mb",
+                AttributeKind.DYNAMIC,
+                cutoff=2048.0,
+                max_value=16384.0,
+                # Source reports bytes; canonical unit is megabytes.
+                normalizer=lambda raw: float(raw) / (1024.0 * 1024.0),
+            )
+        )
+        return schema
+
+    def test_spec_normalize(self):
+        schema = self.make_schema()
+        assert schema.get("ram_mb").normalize(2048 * 1024 * 1024) == 2048.0
+
+    def test_schema_passthrough_without_normalizer(self):
+        schema = AttributeSchema()
+        schema.add(AttributeSpec("x", AttributeKind.DYNAMIC, cutoff=1.0))
+        assert schema.normalize_value("x", 5.5) == 5.5
+        assert schema.normalize_value("unknown", "raw") == "raw"
+
+    def test_agent_normalizes_collector_values(self, sim, network, regions):
+        from repro.core.agent import NodeAgent
+        from repro.core.service import FocusService
+
+        config = FocusConfig(schema=self.make_schema())
+        service = FocusService(sim, network, region=regions[0], config=config)
+        service.start()
+        agent = NodeAgent(
+            sim, network, "n1", regions[0], "focus",
+            dynamic={"ram_mb": 4096.0}, config=config,
+        )
+        agent.start()
+        sim.run_until(5.0)
+        # A heterogeneous source reports bytes; the agent stores megabytes.
+        agent.set_attribute("ram_mb", 8192 * 1024 * 1024)
+        assert agent.dynamic["ram_mb"] == 8192.0
+        sim.run_until(15.0)
+        membership = agent.memberships["ram_mb"]
+        assert membership.contains(8192.0)

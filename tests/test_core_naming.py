@@ -1,0 +1,111 @@
+"""Unit and property tests for deterministic group naming."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.naming import (
+    group_base,
+    group_name,
+    group_range,
+    groups_covering,
+    parse_group_name,
+)
+from repro.errors import GroupError
+
+cutoffs = st.sampled_from([1.0, 2.0, 5.0, 25.0, 2048.0])
+values = st.floats(min_value=0, max_value=1e5)
+
+
+class TestGroupBase:
+    def test_paper_example(self):
+        """Disk cutoff 10 -> a node with 13 GB free lands in disk.10."""
+        assert group_base(13.0, 10.0) == 10.0
+        assert group_name("disk_gb", 13.0, 10.0) == "disk_gb.10"
+
+    def test_exact_boundary(self):
+        assert group_base(10.0, 10.0) == 10.0
+        assert group_base(9.999, 10.0) == 0.0
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(GroupError):
+            group_base(5.0, 0.0)
+
+    @given(values, cutoffs)
+    def test_value_within_own_group_range(self, value, cutoff):
+        base = group_base(value, cutoff)
+        low, high = group_range(base, cutoff)
+        assert low <= value < high or value == pytest.approx(high)
+
+
+class TestNames:
+    def test_integer_rendering(self):
+        assert group_name("ram_mb", 5000.0, 2048.0) == "ram_mb.4096"
+
+    def test_fractional_cutoff(self):
+        assert group_name("load", 0.7, 0.5) == "load.0.5"
+
+    def test_region_qualified(self):
+        name = group_name("ram_mb", 5000.0, 2048.0, region="us-west-2")
+        assert name == "ram_mb.4096@us-west-2"
+
+    def test_attribute_name_restrictions(self):
+        with pytest.raises(GroupError):
+            group_name("bad.attr", 1.0, 1.0)
+        with pytest.raises(GroupError):
+            group_name("bad@attr", 1.0, 1.0)
+
+    @given(values, cutoffs)
+    def test_deterministic(self, value, cutoff):
+        assert group_name("a", value, cutoff) == group_name("a", value, cutoff)
+
+    @given(values, cutoffs)
+    def test_parse_roundtrip(self, value, cutoff):
+        name = group_name("ram_mb", value, cutoff)
+        parsed = parse_group_name(name)
+        assert parsed.attribute == "ram_mb"
+        assert parsed.base == group_base(value, cutoff)
+        assert parsed.region is None
+
+    def test_parse_region(self):
+        parsed = parse_group_name("ram_mb.4096@us-west-2")
+        assert parsed.region == "us-west-2"
+
+    def test_parse_malformed(self):
+        with pytest.raises(GroupError):
+            parse_group_name("no-separator")
+        with pytest.raises(GroupError):
+            parse_group_name("attr.notanumber")
+
+
+class TestGroupsCovering:
+    def test_simple_interval(self):
+        names = groups_covering("d", 12.0, 27.0, 10.0, value_max=100.0)
+        assert names == ["d.10", "d.20"]
+
+    def test_open_upper_clamped_by_value_max(self):
+        names = groups_covering("d", 35.0, None, 10.0, value_max=60.0)
+        assert names == ["d.30", "d.40", "d.50", "d.60"]
+
+    def test_open_lower(self):
+        names = groups_covering("d", None, 15.0, 10.0, value_max=100.0)
+        assert names == ["d.0", "d.10"]
+
+    def test_empty_when_disjoint(self):
+        assert groups_covering("d", 50.0, None, 10.0, value_max=40.0) == []
+
+    def test_max_groups_cap(self):
+        names = groups_covering("d", 0.0, None, 1.0, value_max=1e9, max_groups=16)
+        assert len(names) == 16
+
+    @given(
+        st.floats(min_value=0, max_value=1e3),
+        st.floats(min_value=0, max_value=1e3),
+        cutoffs,
+    )
+    def test_every_in_range_value_covered(self, a, b, cutoff):
+        lower, upper = min(a, b), max(a, b)
+        names = groups_covering(
+            "x", lower, upper, cutoff, value_max=1e3, max_groups=2048
+        )
+        value = (lower + upper) / 2
+        assert group_name("x", value, cutoff) in names

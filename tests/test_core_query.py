@@ -1,0 +1,145 @@
+"""Unit and property tests for the query structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.query import Query, QueryTerm
+from repro.errors import QueryError
+
+
+class TestTermValidation:
+    def test_needs_a_bound(self):
+        with pytest.raises(QueryError):
+            QueryTerm("x")
+
+    def test_lower_above_upper_rejected(self):
+        with pytest.raises(QueryError):
+            QueryTerm("x", lower=5, upper=3)
+
+    def test_equals_excludes_bounds(self):
+        with pytest.raises(QueryError):
+            QueryTerm("x", lower=1, equals="y")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(QueryError):
+            QueryTerm("", lower=1)
+
+
+class TestTermMatching:
+    def test_range_inclusive(self):
+        term = QueryTerm("x", lower=1.0, upper=2.0)
+        assert term.matches(1.0)
+        assert term.matches(2.0)
+        assert not term.matches(0.99)
+        assert not term.matches(2.01)
+
+    def test_open_bounds(self):
+        assert QueryTerm.at_least("x", 5).matches(1e9)
+        assert QueryTerm.at_most("x", 5).matches(-1e9)
+
+    def test_exact_numeric(self):
+        term = QueryTerm.exact("x", 4)
+        assert term.matches(4)
+        assert not term.matches(4.1)
+
+    def test_string_equality(self):
+        term = QueryTerm.exact("arch", "x86")
+        assert term.matches("x86")
+        assert not term.matches("arm64")
+
+    def test_missing_value_never_matches(self):
+        assert not QueryTerm.at_least("x", 1).matches(None)
+
+    def test_non_numeric_value_against_bounds(self):
+        assert not QueryTerm.at_least("x", 1).matches("not-a-number")
+
+    def test_numeric_string_coerced(self):
+        assert QueryTerm.at_least("x", 1).matches("5")
+
+
+class TestQuery:
+    def test_requires_terms(self):
+        with pytest.raises(QueryError):
+            Query([])
+
+    def test_duplicate_terms_rejected(self):
+        with pytest.raises(QueryError):
+            Query([QueryTerm.at_least("x", 1), QueryTerm.at_most("x", 5)])
+
+    def test_limit_positive(self):
+        with pytest.raises(QueryError):
+            Query([QueryTerm.at_least("x", 1)], limit=0)
+
+    def test_negative_freshness_rejected(self):
+        with pytest.raises(QueryError):
+            Query([QueryTerm.at_least("x", 1)], freshness_ms=-1)
+
+    def test_matches_conjunction(self):
+        query = Query([QueryTerm.at_least("ram", 4096), QueryTerm.exact("arch", "x86")])
+        assert query.matches({"ram": 8192, "arch": "x86"})
+        assert not query.matches({"ram": 8192, "arch": "arm64"})
+        assert not query.matches({"ram": 1024, "arch": "x86"})
+
+    def test_from_bounds(self):
+        query = Query.from_bounds(
+            {"ram": (4096, None), "cpu": (None, 50), "arch": "x86", "cores": 8},
+            limit=3,
+        )
+        assert query.limit == 3
+        assert query.term("ram").lower == 4096
+        assert query.term("cpu").upper == 50
+        assert query.term("arch").equals == "x86"
+        assert query.term("cores").lower == query.term("cores").upper == 8.0
+
+    def test_term_lookup_missing(self):
+        query = Query([QueryTerm.at_least("x", 1)])
+        assert query.term("y") is None
+
+
+finite = st.floats(min_value=-1e9, max_value=1e9)
+
+
+@st.composite
+def terms(draw):
+    name = draw(st.sampled_from(["ram", "cpu", "disk", "arch"]))
+    if draw(st.booleans()):
+        return QueryTerm.exact(name, draw(st.text(min_size=1, max_size=8)))
+    lower = draw(st.none() | finite)
+    upper = draw(st.none() | finite)
+    if lower is None and upper is None:
+        lower = 0.0
+    if lower is not None and upper is not None and lower > upper:
+        lower, upper = upper, lower
+    return QueryTerm(name, lower=lower, upper=upper)
+
+
+class TestSerialisation:
+    @given(st.lists(terms(), min_size=1, max_size=4, unique_by=lambda t: t.name))
+    def test_json_roundtrip(self, term_list):
+        query = Query(term_list, limit=5, freshness_ms=100.0)
+        restored = Query.from_json(query.to_json())
+        assert restored.limit == query.limit
+        assert restored.freshness_ms == query.freshness_ms
+        for original in query.terms:
+            copy = restored.term(original.name)
+            assert copy.lower == original.lower
+            assert copy.upper == original.upper
+            assert copy.equals == original.equals
+
+    @given(st.lists(terms(), min_size=2, max_size=4, unique_by=lambda t: t.name))
+    def test_cache_key_order_independent(self, term_list):
+        forward = Query(term_list)
+        backward = Query(list(reversed(term_list)))
+        assert forward.cache_key() == backward.cache_key()
+
+    def test_cache_key_distinguishes_limits(self):
+        t = [QueryTerm.at_least("x", 1)]
+        assert Query(t, limit=1).cache_key() != Query(t, limit=2).cache_key()
+
+    @given(st.lists(terms(), min_size=1, max_size=4, unique_by=lambda t: t.name),
+           st.dictionaries(st.sampled_from(["ram", "cpu", "disk", "arch"]),
+                           finite | st.text(max_size=8), max_size=4))
+    def test_roundtrip_preserves_matching(self, term_list, attrs):
+        query = Query(term_list)
+        restored = Query.from_json(query.to_json())
+        assert query.matches(attrs) == restored.matches(attrs)

@@ -1,0 +1,161 @@
+"""Router-specific tests: smallest-group planning, waves, timeout, delegation."""
+
+import pytest
+
+from repro.core.config import FocusConfig
+from repro.core.query import Query, QueryTerm
+from repro.harness import build_focus_cluster, drain, run_query
+
+
+class TestPlanning:
+    def test_smallest_term_selected(self):
+        """With an exact cpu group term and a broad ram term, the router must
+        fan out over the (smaller) cpu candidates."""
+        scenario = build_focus_cluster(40, seed=21, with_store=False)
+        drain(scenario, 12.0)
+        before = scenario.service.metrics.counter("group_queries").value
+        query = Query(
+            [
+                QueryTerm("cpu_percent", lower=0.0, upper=24.9),
+                QueryTerm("ram_mb", lower=0.0, upper=16384.0),
+            ],
+            freshness_ms=0.0,
+        )
+        response = run_query(scenario, query)
+        fanout = scenario.service.metrics.counter("group_queries").value - before
+        cpu_instances = scenario.service.dgm.groups.instances_covering(
+            "cpu_percent", 0.0, 24.9
+        )
+        assert fanout <= len(cpu_instances) + 1
+        for match in response.matches:
+            assert match["attrs"]["cpu_percent"] <= 24.9
+
+    def test_limit_prunes_fanout(self):
+        scenario = build_focus_cluster(64, seed=22, with_store=False)
+        drain(scenario, 15.0)
+        before = scenario.service.metrics.counter("group_queries").value
+        query = Query([QueryTerm.at_least("ram_mb", 0.0)], limit=3, freshness_ms=0.0)
+        response = run_query(scenario, query)
+        fanout = scenario.service.metrics.counter("group_queries").value - before
+        all_instances = scenario.service.dgm.groups.instances_covering("ram_mb", 0.0, None)
+        assert len(response.matches) == 3
+        assert fanout < len(all_instances)
+
+
+class TestEmptyGroups:
+    def test_wave_of_empty_groups_finishes_immediately(self):
+        """Group instances whose members all left produce no RPCs; the
+        router must finish (or move to the next wave) without waiting for
+        the query timeout."""
+        scenario = build_focus_cluster(12, seed=20, with_store=False)
+        drain(scenario, 12.0)
+        dgm = scenario.service.dgm
+        # Empty every ram group server-side (as if all members moved away
+        # moments ago and reports confirmed it).
+        for group in dgm.groups.instances_covering("ram_mb", None, None):
+            group.members.clear()
+            group.pending.clear()
+        query = Query([QueryTerm.at_least("ram_mb", 0.0)], limit=3, freshness_ms=0.0)
+        response = run_query(scenario, query)
+        assert response.matches == []
+        assert not response.timed_out
+        assert response.elapsed < scenario.config.query_timeout / 2
+
+
+class TestTimeout:
+    def test_unresponsive_group_times_out_with_partial_results(self):
+        config = FocusConfig(query_timeout=1.5, group_query_timeout=1.0)
+        scenario = build_focus_cluster(24, seed=23, with_store=False, config=config)
+        drain(scenario, 12.0)
+        # Partition one group's members from the service after reports, so
+        # the service still believes the group is reachable.
+        groups = scenario.service.dgm.groups.instances_covering("ram_mb", 0.0, None)
+        victims = groups[0].all_node_ids()
+        for node_id in victims:
+            scenario.network.block(scenario.service.address, node_id)
+        query = Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=0.0)
+        response = run_query(scenario, query)
+        assert response.timed_out or set(response.node_ids).isdisjoint(victims)
+
+    def test_retry_uses_second_member(self):
+        """If the randomly chosen member is dead, the router retries another."""
+        scenario = build_focus_cluster(24, seed=24, with_store=False)
+        drain(scenario, 12.0)
+        group = next(
+            g
+            for g in scenario.service.dgm.groups.all_groups()
+            if len(g.members) >= 3
+        )
+        # Kill one member; the service's member list is still stale.
+        victim = sorted(group.members)[0]
+        scenario.agent(victim).stop()
+        low, high = group.range
+        query = Query(
+            [QueryTerm(group.attribute, lower=low, upper=high - 0.001)],
+            freshness_ms=0.0,
+        )
+        response = run_query(scenario, query)
+        # The surviving members still answer (directly or via retry).
+        alive_expected = {
+            a.node_id
+            for a in scenario.agents
+            if a.running and low <= a.dynamic[group.attribute] < high
+        }
+        assert alive_expected.issubset(set(response.node_ids) | {victim})
+
+
+class TestDelegation:
+    def test_delegated_response_contains_candidates(self):
+        config = FocusConfig(delegation_enabled=True, delegation_threshold=0)
+        scenario = build_focus_cluster(24, seed=25, with_store=False, config=config)
+        drain(scenario, 12.0)
+        query = Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=0.0)
+        response = run_query(scenario, query)
+        # The client transparently performed the pull itself.
+        assert response.source == "delegated"
+        expected = {a.node_id for a in scenario.agents}
+        assert set(response.node_ids) == expected
+
+    def test_delegated_queries_not_cached(self):
+        config = FocusConfig(delegation_enabled=True, delegation_threshold=0)
+        scenario = build_focus_cluster(12, seed=26, with_store=False, config=config)
+        drain(scenario, 12.0)
+        query = Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=60_000.0)
+        first = run_query(scenario, query)
+        second = run_query(scenario, query)
+        assert first.source == "delegated"
+        assert second.source == "delegated"  # never served from cache
+        assert scenario.service.cache.hits == 0
+
+    def test_delegation_respects_limit(self):
+        config = FocusConfig(delegation_enabled=True, delegation_threshold=0)
+        scenario = build_focus_cluster(24, seed=27, with_store=False, config=config)
+        drain(scenario, 12.0)
+        query = Query([QueryTerm.at_least("ram_mb", 0.0)], limit=4, freshness_ms=0.0)
+        response = run_query(scenario, query)
+        assert len(response.matches) == 4
+
+
+class TestCachePath:
+    def test_cache_disabled_config(self):
+        config = FocusConfig(cache_enabled=False)
+        scenario = build_focus_cluster(12, seed=28, with_store=False, config=config)
+        drain(scenario, 12.0)
+        query = Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=60_000.0)
+        first = run_query(scenario, query)
+        second = run_query(scenario, query)
+        assert first.source == "groups"
+        assert second.source == "groups"
+
+    def test_cache_hit_faster_than_group_pull(self):
+        scenario = build_focus_cluster(24, seed=29, with_store=False)
+        drain(scenario, 12.0)
+        query = Query([QueryTerm.at_least("ram_mb", 1000.0)], freshness_ms=120_000.0)
+        miss = run_query(scenario, query)
+        hit = run_query(scenario, query)
+        assert hit.source == "cache"
+        assert hit.elapsed < miss.elapsed
+        # Fig. 8c: the cache path is dominated by server processing (~45 ms).
+        assert hit.elapsed == pytest.approx(
+            scenario.config.server_processing_delay, rel=0.5
+        )

@@ -1,0 +1,192 @@
+"""Integration tests for the FOCUS service: registration, DGM, router."""
+
+import pytest
+
+from repro.core.config import FocusConfig
+from repro.core.query import Query, QueryTerm
+from repro.harness import build_focus_cluster, drain, run_query
+
+
+@pytest.fixture(scope="module")
+def small_cluster():
+    scenario = build_focus_cluster(48, seed=11, with_store=True)
+    drain(scenario, 15.0)
+    return scenario
+
+
+class TestRegistration:
+    def test_all_nodes_registered(self, small_cluster):
+        assert len(small_cluster.service.registrar.nodes) == 48
+        assert all(a.registered for a in small_cluster.agents)
+
+    def test_every_node_in_one_group_per_dynamic_attribute(self, small_cluster):
+        dynamic = small_cluster.config.schema.dynamic()
+        for agent in small_cluster.agents:
+            assert set(agent.memberships) == set(dynamic)
+            for attribute, membership in agent.memberships.items():
+                value = agent.dynamic[attribute]
+                assert membership.contains(value), (attribute, value, membership.group)
+
+    def test_static_attributes_persisted_to_store(self, small_cluster):
+        rows = []
+        small_cluster.service.store_client.scan("static::arch", rows.extend)
+        drain(small_cluster, 2.0)
+        assert len(rows) == 48
+
+    def test_static_counts_tracked(self, small_cluster):
+        counts = small_cluster.service.registrar.static_counts
+        assert counts["arch"] == 48
+
+    def test_rejects_unknown_dynamic_attribute(self, small_cluster):
+        from repro.errors import RegistrationError
+
+        with pytest.raises(RegistrationError):
+            small_cluster.service.registrar.register(
+                {"node_id": "bad", "region": "us-east-2", "dynamic": {"nope": 1.0}}
+            )
+
+    def test_rejects_missing_node_id(self, small_cluster):
+        from repro.errors import RegistrationError
+
+        with pytest.raises(RegistrationError):
+            small_cluster.service.registrar.register({"region": "us-east-2"})
+
+
+class TestGroups:
+    def test_group_ranges_are_cutoff_aligned(self, small_cluster):
+        for group in small_cluster.service.dgm.groups.all_groups():
+            cutoff = small_cluster.config.cutoff_for(group.attribute)
+            assert group.base % cutoff == 0
+            assert group.range == (group.base, group.base + cutoff)
+
+    def test_members_confirmed_by_reports(self, small_cluster):
+        groups = small_cluster.service.dgm.groups.all_groups()
+        confirmed = sum(len(g.members) for g in groups)
+        assert confirmed >= 0.9 * 48 * 4  # reports have confirmed ~everyone
+
+    def test_each_group_has_a_representative(self, small_cluster):
+        for group in small_cluster.service.dgm.groups.all_groups():
+            if group.members:
+                assert group.representatives
+
+    def test_transitions_drain(self, small_cluster):
+        assert len(small_cluster.service.dgm.transitions) == 0
+
+
+class TestQueries:
+    def test_dynamic_query_matches_ground_truth(self, small_cluster):
+        query = Query(
+            [QueryTerm("ram_mb", lower=4096.0, upper=6143.0)], freshness_ms=0.0
+        )
+        response = run_query(small_cluster, query)
+        expected = {
+            a.node_id
+            for a in small_cluster.agents
+            if 4096.0 <= a.dynamic["ram_mb"] <= 6143.0
+        }
+        assert set(response.node_ids) == expected
+        assert response.source == "groups"
+
+    def test_multi_term_conjunction(self, small_cluster):
+        query = Query(
+            [
+                QueryTerm("cpu_percent", upper=50.0),
+                QueryTerm("ram_mb", lower=2048.0),
+            ],
+            freshness_ms=0.0,
+        )
+        response = run_query(small_cluster, query)
+        for match in response.matches:
+            assert match["attrs"]["cpu_percent"] <= 50.0
+            assert match["attrs"]["ram_mb"] >= 2048.0
+
+    def test_limit_respected(self, small_cluster):
+        query = Query([QueryTerm.at_least("ram_mb", 0.0)], limit=5, freshness_ms=0.0)
+        response = run_query(small_cluster, query)
+        assert len(response.matches) == 5
+
+    def test_static_query_served_from_store(self, small_cluster):
+        query = Query([QueryTerm.exact("service_type", "scheduler")])
+        response = run_query(small_cluster, query)
+        expected = {
+            a.node_id
+            for a in small_cluster.agents
+            if a.static["service_type"] == "scheduler"
+        }
+        assert set(response.node_ids) == expected
+        assert response.source == "static"
+
+    def test_static_and_dynamic_terms_combined(self, small_cluster):
+        query = Query(
+            [QueryTerm.exact("arch", "x86"), QueryTerm.at_least("ram_mb", 1024.0)],
+            freshness_ms=0.0,
+        )
+        response = run_query(small_cluster, query)
+        assert response.source == "groups"
+        for match in response.matches:
+            assert match["attrs"]["arch"] == "x86"
+            assert match["attrs"]["ram_mb"] >= 1024.0
+
+    def test_cache_roundtrip(self, small_cluster):
+        query = Query([QueryTerm.at_least("disk_gb", 50.0)], freshness_ms=60_000.0)
+        first = run_query(small_cluster, query)
+        second = run_query(small_cluster, query)
+        assert second.source == "cache"
+        assert {m["node"] for m in second.matches} == {m["node"] for m in first.matches}
+        assert second.elapsed < first.elapsed
+
+    def test_empty_result_when_nothing_matches(self, small_cluster):
+        query = Query([QueryTerm.at_least("ram_mb", 16000.0),
+                       QueryTerm.at_least("vcpus", 8.0)], freshness_ms=0.0)
+        response = run_query(small_cluster, query)
+        expected = {
+            a.node_id
+            for a in small_cluster.agents
+            if a.dynamic["ram_mb"] >= 16000.0 and a.dynamic["vcpus"] >= 8.0
+        }
+        assert set(response.node_ids) == expected  # usually empty
+
+    def test_malformed_query_reports_error(self, small_cluster):
+        # A dynamic attribute with string equality cannot be group-routed.
+        query = Query([QueryTerm("ram_mb", equals="lots")])
+        response = run_query(small_cluster, query)
+        assert response.error is not None
+
+
+class TestResilience:
+    def test_query_survives_member_crash(self):
+        scenario = build_focus_cluster(32, seed=13, with_store=False)
+        drain(scenario, 15.0)
+        # Crash a quarter of the nodes without deregistration.
+        for agent in scenario.agents[::4]:
+            agent.stop()
+        drain(scenario, 1.0)
+        query = Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=0.0)
+        response = run_query(scenario, query)
+        live = {a.node_id for a in scenario.agents if a.running}
+        assert set(response.node_ids).issubset(live | set())
+        assert len(response.matches) > 0
+
+    def test_dgm_rebuilds_from_reports(self):
+        """Killing the DGM state and letting reports repopulate it (§VIII-A2)."""
+        scenario = build_focus_cluster(24, seed=17, with_store=False)
+        drain(scenario, 12.0)
+        service = scenario.service
+        groups_before = len(service.dgm.groups.all_groups())
+        assert groups_before > 0
+        # Simulate DGM restart: drop all group state.
+        from repro.core.groups import GroupTable
+
+        service.dgm.groups = GroupTable()
+        service.dgm.transitions.clear()
+        drain(scenario, scenario.config.report_interval * 2 + 2.0)
+        rebuilt = service.dgm.groups.all_groups()
+        assert sum(len(g.members) for g in rebuilt) > 0
+
+    def test_node_shutdown_deregisters(self):
+        scenario = build_focus_cluster(12, seed=19, with_store=False)
+        drain(scenario, 10.0)
+        victim = scenario.agents[0]
+        victim.shutdown()
+        drain(scenario, 5.0)
+        assert victim.node_id not in scenario.service.registrar.nodes

@@ -1,0 +1,181 @@
+"""Tests for materialized views (§XII extension)."""
+
+import pytest
+
+from repro.core.query import Query, QueryTerm
+from repro.core.views import is_view_group, view_group_name
+from repro.errors import FocusError
+from repro.harness import build_focus_cluster, drain, run_query
+
+
+def idle_hosts_query(freshness_ms=0.0):
+    return Query([QueryTerm.at_most("cpu_percent", 25.0)], freshness_ms=freshness_ms)
+
+
+def create_view(scenario, query, view_id=None):
+    results = []
+    scenario.app.client.create_view(query, results.append, view_id=view_id)
+    drain(scenario, 2.0)
+    assert results and not results[0].get("error"), results
+    return results[0]["view_id"]
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    scenario = build_focus_cluster(40, seed=51, with_store=False)
+    drain(scenario, 15.0)
+    return scenario
+
+
+class TestNaming:
+    def test_view_group_name(self):
+        assert view_group_name("v1") == "view::v1"
+        assert is_view_group("view::v1")
+        assert not is_view_group("ram_mb.4096")
+
+
+class TestLifecycle:
+    def test_create_populates_matching_nodes(self, cluster):
+        view_id = create_view(cluster, idle_hosts_query(), view_id="idle")
+        drain(cluster, 10.0)
+        view = cluster.service.views.views[view_id]
+        expected = {
+            a.node_id for a in cluster.agents if a.dynamic["cpu_percent"] <= 25.0
+        }
+        assert set(view.group.all_node_ids()) == expected
+
+    def test_view_members_run_serf_group(self, cluster):
+        view = cluster.service.views.views["idle"]
+        member = next(iter(view.group.members))
+        agent = cluster.agent(member)
+        membership = agent.view_memberships["idle"]
+        assert membership.serf.group_size() == len(view.group.members)
+
+    def test_view_reports_flow(self, cluster):
+        view = cluster.service.views.views["idle"]
+        assert view.group.members  # confirmed by representative reports
+        assert view.group.representatives
+
+    def test_query_answered_from_view(self, cluster):
+        response = run_query(cluster, idle_hosts_query())
+        assert response.source == "view"
+        expected = {
+            a.node_id for a in cluster.agents if a.dynamic["cpu_percent"] <= 25.0
+        }
+        assert set(response.node_ids) == expected
+
+    def test_view_with_limit_rejected(self, cluster):
+        with pytest.raises(FocusError):
+            cluster.service.views.create_view(
+                Query([QueryTerm.at_most("cpu_percent", 25.0)], limit=5).to_json()
+            )
+
+    def test_duplicate_view_id_rejected(self, cluster):
+        with pytest.raises(FocusError):
+            cluster.service.views.create_view(
+                idle_hosts_query().to_json(), view_id="idle"
+            )
+
+    def test_non_matching_query_bypasses_views(self, cluster):
+        response = run_query(
+            cluster, Query([QueryTerm.at_most("cpu_percent", 60.0)], freshness_ms=0.0)
+        )
+        assert response.source == "groups"
+
+
+class TestEventTriggers:
+    def test_node_joins_view_when_state_changes(self):
+        scenario = build_focus_cluster(24, seed=52, with_store=False)
+        drain(scenario, 12.0)
+        create_view(scenario, idle_hosts_query(), view_id="idle")
+        drain(scenario, 8.0)
+        busy = next(a for a in scenario.agents if a.dynamic["cpu_percent"] > 50.0)
+        assert "idle" not in busy.view_memberships
+        busy.set_attribute("cpu_percent", 10.0)
+        drain(scenario, 10.0)
+        assert "idle" in busy.view_memberships
+        view = scenario.service.views.views["idle"]
+        assert busy.node_id in view.group.all_node_ids()
+
+    def test_node_leaves_view_when_state_changes(self):
+        scenario = build_focus_cluster(24, seed=53, with_store=False)
+        drain(scenario, 12.0)
+        create_view(scenario, idle_hosts_query(), view_id="idle")
+        drain(scenario, 8.0)
+        idle = next(a for a in scenario.agents if a.dynamic["cpu_percent"] <= 25.0)
+        assert "idle" in idle.view_memberships
+        idle.set_attribute("cpu_percent", 90.0)
+        drain(scenario, 10.0)
+        assert "idle" not in idle.view_memberships
+        view = scenario.service.views.views["idle"]
+        assert idle.node_id not in view.group.all_node_ids()
+
+    def test_view_query_reflects_updates(self):
+        scenario = build_focus_cluster(24, seed=54, with_store=False)
+        drain(scenario, 12.0)
+        create_view(scenario, idle_hosts_query(), view_id="idle")
+        drain(scenario, 8.0)
+        first = run_query(scenario, idle_hosts_query())
+        mover = next(a for a in scenario.agents if a.node_id in first.node_ids)
+        mover.set_attribute("cpu_percent", 99.0)
+        drain(scenario, 10.0)
+        second = run_query(scenario, idle_hosts_query())
+        assert mover.node_id not in second.node_ids
+        assert second.source == "view"
+
+
+class TestLateRegistration:
+    def test_new_node_learns_existing_views(self):
+        scenario = build_focus_cluster(16, seed=55, with_store=False)
+        drain(scenario, 12.0)
+        create_view(scenario, idle_hosts_query(), view_id="idle")
+        drain(scenario, 5.0)
+        from repro.core.agent import NodeAgent
+
+        late = NodeAgent(
+            scenario.sim,
+            scenario.network,
+            "late-node",
+            "us-east-2",
+            scenario.service.address,
+            dynamic={"cpu_percent": 5.0, "ram_mb": 4000.0, "vcpus": 2.0,
+                     "disk_gb": 40.0},
+            config=scenario.config,
+        )
+        late.start()
+        drain(scenario, 10.0)
+        assert "idle" in late.view_definitions
+        assert "idle" in late.view_memberships
+
+
+class TestShutdownCleanup:
+    def test_graceful_shutdown_leaves_view_groups(self):
+        scenario = build_focus_cluster(16, seed=57, with_store=False)
+        drain(scenario, 12.0)
+        create_view(scenario, idle_hosts_query(), view_id="idle")
+        drain(scenario, 8.0)
+        member = next(a for a in scenario.agents if "idle" in a.view_memberships)
+        member.shutdown()
+        drain(scenario, 20.0)
+        view = scenario.service.views.views["idle"]
+        assert member.node_id not in view.group.all_node_ids()
+
+
+class TestDropView:
+    def test_drop_removes_memberships(self):
+        scenario = build_focus_cluster(16, seed=56, with_store=False)
+        drain(scenario, 12.0)
+        create_view(scenario, idle_hosts_query(), view_id="idle")
+        drain(scenario, 8.0)
+        members = [
+            a for a in scenario.agents if "idle" in a.view_memberships
+        ]
+        assert members
+        scenario.app.client.drop_view("idle")
+        drain(scenario, 5.0)
+        assert "idle" not in scenario.service.views.views
+        for agent in members:
+            assert "idle" not in agent.view_memberships
+        # Queries fall back to directed pulls.
+        response = run_query(scenario, idle_hosts_query())
+        assert response.source == "groups"

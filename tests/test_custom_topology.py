@@ -1,0 +1,82 @@
+"""FOCUS over non-default topologies: two regions, single region, edge sites."""
+
+import pytest
+
+from repro.core.query import Query, QueryTerm
+from repro.harness import build_focus_cluster, drain, run_query
+from repro.sim.topology import Region, Topology
+
+
+def two_region_topology():
+    return Topology(
+        regions=[
+            Region("eu-west-1", 53.34, -6.26),   # Dublin
+            Region("eu-central-1", 50.11, 8.68),  # Frankfurt
+        ]
+    )
+
+
+class TestTwoRegions:
+    def test_cluster_forms_and_answers(self):
+        scenario = build_focus_cluster(
+            16, seed=301, with_store=False, topology=two_region_topology()
+        )
+        drain(scenario, 15.0)
+        regions = {a.region for a in scenario.agents}
+        assert regions == {"eu-west-1", "eu-central-1"}
+        response = run_query(
+            scenario, Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=0.0)
+        )
+        assert len(response.matches) == 16
+
+    def test_intra_europe_latency_small(self):
+        topo = two_region_topology()
+        # Dublin <-> Frankfurt is ~1,100 km: single-digit ms one-way.
+        assert topo.latency("eu-west-1", "eu-central-1") < 0.015
+
+
+class TestSingleRegion:
+    def test_single_region_deployment(self):
+        topo = Topology(regions=[Region("on-prem", 40.0, -80.0)])
+        scenario = build_focus_cluster(
+            12, seed=302, with_store=False, topology=topo
+        )
+        drain(scenario, 15.0)
+        assert all(a.region == "on-prem" for a in scenario.agents)
+        response = run_query(
+            scenario,
+            Query([QueryTerm.at_most("cpu_percent", 50.0)], freshness_ms=0.0),
+        )
+        expected = {
+            a.node_id for a in scenario.agents if a.dynamic["cpu_percent"] <= 50.0
+        }
+        assert set(response.node_ids) == expected
+
+    def test_geo_split_never_triggers_in_one_region(self):
+        from repro.core.config import FocusConfig
+
+        topo = Topology(regions=[Region("on-prem", 40.0, -80.0)])
+        scenario = build_focus_cluster(
+            12, seed=303, with_store=False, topology=topo,
+            config=FocusConfig(geo_split_km=10.0),
+        )
+        drain(scenario, 25.0)
+        metric = scenario.service.metrics.get_counter("geo_splits")
+        assert metric is None or metric.value == 0
+
+
+class TestManyRegions:
+    def test_eight_region_spread(self):
+        regions = [
+            Region(f"edge-{i}", 25.0 + i * 4.0, -120.0 + i * 8.0)
+            for i in range(8)
+        ]
+        scenario = build_focus_cluster(
+            32, seed=304, with_store=False, topology=Topology(regions=regions)
+        )
+        drain(scenario, 15.0)
+        assert len({a.region for a in scenario.agents}) == 8
+        response = run_query(
+            scenario, Query([QueryTerm.at_least("disk_gb", 0.0)], freshness_ms=0.0)
+        )
+        assert len(response.matches) == 32

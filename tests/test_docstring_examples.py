@@ -1,0 +1,35 @@
+"""Execute the code samples embedded in the documentation.
+
+Documentation that doesn't run is worse than none: these tests execute the
+package docstring example and the README quickstart verbatim-equivalent so
+the docs can't drift from the API.
+"""
+
+import re
+import pathlib
+
+import pytest
+
+
+class TestPackageDocstring:
+    def test_init_example_runs(self, capsys):
+        import repro
+
+        example = re.search(r"Quickstart::\n\n((?:    .*\n|\n)+)", repro.__doc__)
+        assert example, "package docstring lost its Quickstart example"
+        code = "\n".join(line[4:] for line in example.group(1).splitlines())
+        exec(compile(code, "<repro.__doc__>", "exec"), {})
+        out = capsys.readouterr().out
+        assert "node" in out  # printed matches
+
+
+class TestReadmeQuickstart:
+    def test_readme_python_block_runs(self, capsys):
+        readme = (
+            pathlib.Path(__file__).resolve().parent.parent / "README.md"
+        ).read_text()
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert blocks, "README lost its python quickstart"
+        exec(compile(blocks[0], "<README.md>", "exec"), {})
+        out = capsys.readouterr().out
+        assert "node-" in out

@@ -1,0 +1,31 @@
+"""The exception hierarchy: one base, meaningful subtyping."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_focus_family(self):
+        for cls in (errors.RegistrationError, errors.QueryError,
+                    errors.QueryTimeout, errors.GroupError):
+            assert issubclass(cls, errors.FocusError)
+
+    def test_store_family(self):
+        assert issubclass(errors.QuorumError, errors.StoreError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.QuorumError("quorum lost")
+        with pytest.raises(errors.FocusError):
+            raise errors.QueryTimeout("too slow")
+
+    def test_distinct_families(self):
+        assert not issubclass(errors.BrokerError, errors.FocusError)
+        assert not issubclass(errors.SimulationError, errors.NetworkError)

@@ -1,0 +1,96 @@
+"""Property-based end-to-end invariants of the FOCUS query pipeline.
+
+One warm cluster, arbitrary generated queries: the directed-pull answer must
+equal ground truth computed from the agents' actual state — for any
+combination of bounds, any attribute mix, any limit.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.query import Query, QueryTerm
+from repro.harness import build_focus_cluster, run_query
+from repro.workloads import node_spec_factory
+
+NUM_NODES = 32
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    scenario = build_focus_cluster(
+        NUM_NODES,
+        seed=202,
+        warm_start=True,
+        with_store=False,
+        node_factory=node_spec_factory(seed=202),
+    )
+    scenario.sim.run_until(3.0)
+    return scenario
+
+
+ATTRIBUTE_RANGES = {
+    "cpu_percent": (0.0, 100.0),
+    "vcpus": (0.0, 8.0),
+    "ram_mb": (0.0, 16384.0),
+    "disk_gb": (0.0, 100.0),
+}
+
+
+@st.composite
+def dynamic_terms(draw):
+    name = draw(st.sampled_from(sorted(ATTRIBUTE_RANGES)))
+    low, high = ATTRIBUTE_RANGES[name]
+    a = draw(st.floats(min_value=low, max_value=high))
+    b = draw(st.floats(min_value=low, max_value=high))
+    lower, upper = min(a, b), max(a, b)
+    shape = draw(st.sampled_from(["range", "at_least", "at_most"]))
+    if shape == "at_least":
+        return QueryTerm(name, lower=lower)
+    if shape == "at_most":
+        return QueryTerm(name, upper=upper)
+    return QueryTerm(name, lower=lower, upper=upper)
+
+
+@st.composite
+def focus_queries(draw):
+    terms = draw(
+        st.lists(dynamic_terms(), min_size=1, max_size=3,
+                 unique_by=lambda t: t.name)
+    )
+    if draw(st.booleans()):
+        terms.append(QueryTerm.exact("arch", draw(st.sampled_from(["x86", "arm64"]))))
+    limit = draw(st.none() | st.integers(min_value=1, max_value=NUM_NODES))
+    return Query(terms, limit=limit, freshness_ms=0.0)
+
+
+class TestExactness:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(query=focus_queries())
+    def test_directed_pull_matches_ground_truth(self, cluster, query):
+        expected = {
+            agent.node_id
+            for agent in cluster.agents
+            if query.matches(agent.attributes())
+        }
+        response = run_query(cluster, query)
+        got = set(response.node_ids)
+        if query.limit is None:
+            assert got == expected
+        else:
+            assert len(got) == min(query.limit, len(expected))
+            assert got <= expected
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(query=focus_queries())
+    def test_every_returned_record_satisfies_the_query(self, cluster, query):
+        response = run_query(cluster, query)
+        for match in response.matches:
+            assert query.matches(match["attrs"]), match

@@ -1,0 +1,79 @@
+"""Unit tests for the piggyback broadcast queue."""
+
+from repro.gossip.broadcast import BroadcastQueue, retransmit_limit
+
+
+class TestRetransmitLimit:
+    def test_grows_logarithmically(self):
+        assert retransmit_limit(4, 1) == 4
+        assert retransmit_limit(4, 3) == 8
+        assert retransmit_limit(4, 100) < retransmit_limit(4, 10000)
+
+    def test_minimum_group(self):
+        assert retransmit_limit(4, 0) == 4
+
+
+class TestQueue:
+    def test_take_returns_payloads(self):
+        q = BroadcastQueue()
+        q.enqueue(("m", "a"), {"v": 1}, group_size=4)
+        assert q.take(5) == [{"v": 1}]
+
+    def test_exhausted_broadcast_removed(self):
+        q = BroadcastQueue(retransmit_mult=1)
+        q.enqueue(("m", "a"), {"v": 1}, group_size=1, transmits=2)
+        assert q.take(5)
+        assert q.take(5)
+        assert q.take(5) == []
+        assert q.empty
+
+    def test_same_key_replaces(self):
+        q = BroadcastQueue()
+        q.enqueue(("m", "a"), {"v": 1}, group_size=4)
+        q.enqueue(("m", "a"), {"v": 2}, group_size=4)
+        assert len(q) == 1
+        assert q.take(5) == [{"v": 2}]
+
+    def test_least_transmitted_first(self):
+        q = BroadcastQueue()
+        q.enqueue(("m", "old"), {"v": "old"}, group_size=4)
+        q.take(1)  # old has been transmitted once
+        q.enqueue(("m", "new"), {"v": "new"}, group_size=4)
+        batch = q.take(1)
+        assert batch == [{"v": "new"}]
+
+    def test_take_respects_max_items(self):
+        q = BroadcastQueue()
+        for i in range(10):
+            q.enqueue(("m", str(i)), {"v": i}, group_size=4)
+        assert len(q.take(3)) == 3
+
+    def test_invalidate(self):
+        q = BroadcastQueue()
+        q.enqueue(("m", "a"), {"v": 1}, group_size=4)
+        q.invalidate(("m", "a"))
+        assert q.empty
+
+    def test_take_with_size_sums_payloads(self):
+        q = BroadcastQueue()
+        q.enqueue(("m", "a"), {"v": 1}, group_size=4, size=100)
+        q.enqueue(("m", "b"), {"v": 2}, group_size=4, size=50)
+        payloads, size = q.take_with_size(5)
+        assert len(payloads) == 2
+        assert size == 150
+
+    def test_take_zero(self):
+        q = BroadcastQueue()
+        q.enqueue(("m", "a"), {"v": 1}, group_size=4)
+        assert q.take(0) == []
+
+    def test_clear(self):
+        q = BroadcastQueue()
+        q.enqueue(("m", "a"), {}, group_size=4)
+        q.clear()
+        assert q.empty
+
+    def test_peek_keys(self):
+        q = BroadcastQueue()
+        q.enqueue(("m", "a"), {}, group_size=4)
+        assert q.peek_keys() == [("m", "a")]

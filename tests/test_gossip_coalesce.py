@@ -1,0 +1,102 @@
+"""Tests for Serf-style event coalescing."""
+
+import pytest
+
+from repro.gossip import EventCoalescer, SerfAgent, SerfConfig
+
+
+class TestCoalescer:
+    def test_single_event_delivered_after_window(self, sim):
+        coalescer = EventCoalescer(sim, window=0.5)
+        seen = []
+        handler = coalescer.wrap(lambda p, o: seen.append((p, o)))
+        handler({"v": 1}, "n0")
+        sim.run_until(0.4)
+        assert seen == []
+        sim.run_until(0.6)
+        assert seen == [({"v": 1}, "n0")]
+
+    def test_burst_collapses_to_latest(self, sim):
+        coalescer = EventCoalescer(sim, window=0.5)
+        seen = []
+        handler = coalescer.wrap(lambda p, o: seen.append(p["v"]))
+        for v in range(5):
+            handler({"v": v}, "n0")
+        sim.run_until(1.0)
+        assert seen == [4]
+        assert coalescer.coalesced == 4
+        assert coalescer.delivered == 1
+
+    def test_distinct_keys_kept_separately(self, sim):
+        coalescer = EventCoalescer(sim, window=0.5)
+        seen = []
+        handler = coalescer.wrap(lambda p, o: seen.append((o, p["v"])))
+        handler({"v": 1}, "a")
+        handler({"v": 2}, "b")
+        handler({"v": 3}, "a")  # supersedes a's first event
+        sim.run_until(1.0)
+        assert sorted(seen) == [("a", 3), ("b", 2)]
+
+    def test_custom_key_function(self, sim):
+        coalescer = EventCoalescer(sim, window=0.5)
+        seen = []
+        handler = coalescer.wrap(
+            lambda p, o: seen.append(p), key=lambda p, o: p["shard"]
+        )
+        handler({"shard": 1, "v": "old"}, "a")
+        handler({"shard": 1, "v": "new"}, "b")  # same shard, different origin
+        sim.run_until(1.0)
+        assert seen == [{"shard": 1, "v": "new"}]
+
+    def test_windows_reopen(self, sim):
+        coalescer = EventCoalescer(sim, window=0.5)
+        seen = []
+        handler = coalescer.wrap(lambda p, o: seen.append(p["v"]))
+        handler({"v": 1}, "a")
+        sim.run_until(1.0)
+        handler({"v": 2}, "a")
+        sim.run_until(2.0)
+        assert seen == [1, 2]
+
+    def test_flush_now(self, sim):
+        coalescer = EventCoalescer(sim, window=10.0)
+        seen = []
+        handler = coalescer.wrap(lambda p, o: seen.append(p))
+        handler({"v": 1}, "a")
+        coalescer.flush_now()
+        assert seen == [{"v": 1}]
+
+    def test_single_handler_only(self, sim):
+        coalescer = EventCoalescer(sim, window=0.5)
+        coalescer.wrap(lambda p, o: None)
+        with pytest.raises(RuntimeError):
+            coalescer.wrap(lambda p, o: None)
+
+    def test_positive_window_required(self, sim):
+        with pytest.raises(ValueError):
+            EventCoalescer(sim, window=0.0)
+
+
+class TestWithSerf:
+    def test_coalesces_gossip_event_storm(self, sim, network, regions):
+        agents = []
+        for i in range(6):
+            agent = SerfAgent(sim, network, f"n{i}", f"n{i}/serf", regions[0],
+                              SerfConfig())
+            agent.start()
+            agents.append(agent)
+        for agent in agents[1:]:
+            agent.join([agents[0].address])
+        sim.run_until(5.0)
+        coalescer = EventCoalescer(sim, window=1.0)
+        seen = []
+        agents[5].on_event(
+            "cfg", coalescer.wrap(lambda p, o: seen.append(p["rev"]))
+        )
+        # A burst of 10 config revisions from the same origin.
+        for rev in range(10):
+            sim.schedule(5.0 + rev * 0.05, agents[0].user_event, "cfg", {"rev": rev})
+        sim.run_until(12.0)
+        assert seen, "coalesced handler never fired"
+        assert seen[-1] == 9  # the newest revision always wins
+        assert len(seen) < 10  # the storm was collapsed

@@ -1,0 +1,164 @@
+"""SWIM/Serf edge cases: churn, rejoin, conflicting updates, piggyback."""
+
+import pytest
+
+from repro.gossip import SerfAgent, SerfConfig, SwimAgent, SwimConfig
+from repro.gossip.member import Member, MemberState
+
+
+def build_group(sim, network, count, regions, cls=SwimAgent, config=None):
+    agents = []
+    for i in range(count):
+        agent = cls(
+            sim, network, f"n{i}", f"n{i}/g", regions[i % len(regions)],
+            config or (SerfConfig() if cls is SerfAgent else SwimConfig()),
+        )
+        agent.start()
+        agents.append(agent)
+    for agent in agents[1:]:
+        agent.join([agents[0].address])
+    return agents
+
+
+class TestChurn:
+    def test_rapid_join_leave_converges(self, sim, network, regions):
+        agents = build_group(sim, network, 6, regions)
+        sim.run_until(5.0)
+        # A seventh node joins, leaves, and rejoins under a new incarnation
+        # of the same name (process restart).
+        first = SwimAgent(sim, network, "n6", "n6/g", regions[0])
+        first.start()
+        first.join([agents[0].address])
+        sim.run_until(8.0)
+        first.leave()
+        sim.run_until(12.0)
+        second = SwimAgent(sim, network, "n6", "n6/g2", regions[0])
+        second.start()
+        second.incarnation = 5  # restarted with a fresher incarnation
+        second.members.upsert(second._self_member())
+        second.join([agents[0].address])
+        sim.run_until(25.0)
+        for agent in agents:
+            record = agent.members.get("n6")
+            assert record is not None
+            assert record.state == MemberState.ALIVE
+            assert record.address == "n6/g2"
+
+    def test_half_group_crash(self, sim, network, regions):
+        agents = build_group(sim, network, 10, regions)
+        sim.run_until(5.0)
+        for agent in agents[5:]:
+            agent.stop()
+        sim.run_until(60.0)
+        survivors = agents[:5]
+        for agent in survivors:
+            assert agent.group_size() == 5
+
+    def test_sequential_joins_during_failure_detection(self, sim, network, regions):
+        agents = build_group(sim, network, 5, regions)
+        sim.run_until(3.0)
+        agents[4].stop()
+        late = SwimAgent(sim, network, "late", "late/g", regions[1])
+        sim.schedule(4.0, late.start)
+        sim.schedule(4.1, late.join, [agents[0].address])
+        sim.run_until(40.0)
+        assert late.group_size() == 5  # 4 survivors + itself
+
+
+class TestConflictingUpdates:
+    def test_concurrent_suspicion_and_alive(self, sim, network, regions):
+        agents = build_group(sim, network, 6, regions)
+        sim.run_until(5.0)
+        target = agents[2]
+        # Two different agents inject contradictory records at equal
+        # incarnation; dead/suspect must win at equal inc, then refutation
+        # (higher inc) must win overall.
+        suspect = Member("n2", target.address, target.region,
+                         incarnation=target.incarnation, state=MemberState.SUSPECT)
+        agents[0].members.apply(suspect)
+        agents[0]._broadcast_member(suspect)
+        sim.run_until(30.0)
+        for agent in agents:
+            record = agent.members.get("n2")
+            assert record.state == MemberState.ALIVE
+            assert record.incarnation > 0
+
+    def test_stale_alive_cannot_resurrect_left_member(self, sim, network, regions):
+        agents = build_group(sim, network, 5, regions)
+        sim.run_until(5.0)
+        leaver = agents[3]
+        incarnation = leaver.incarnation
+        leaver.leave()
+        sim.run_until(10.0)
+        stale = Member("n3", leaver.address, leaver.region,
+                       incarnation=incarnation, state=MemberState.ALIVE)
+        assert not agents[0].members.apply(stale)
+
+
+class TestPiggyback:
+    def test_updates_ride_on_probe_messages(self, sim, network, regions):
+        """With the gossip timer quiet, probe piggyback alone must spread
+        membership (disseminate via ping/ack)."""
+        config = SwimConfig(gossip_interval=1000.0)  # effectively disable
+        agents = build_group(sim, network, 4, regions, config=config)
+        sim.run_until(40.0)  # probes + anti-entropy sync at 30s
+        assert all(a.group_size() == 4 for a in agents)
+
+    def test_no_gossip_messages_when_idle(self, sim, network, regions):
+        agents = build_group(sim, network, 5, regions)
+        sim.run_until(10.0)
+        sent_before = network.metrics.counter("messages_sent").value
+
+        taps = []
+
+        def tap(message):
+            if message.kind == "swim.gossip":
+                taps.append(message)
+
+        network.add_delivery_tap(tap)
+        sim.run_until(25.0)  # quiet period, before the 30 s sync
+        # A converged, idle group sends probes but (almost) no gossip.
+        assert len(taps) <= 4
+
+
+class TestSerfQueriesUnderChurn:
+    def test_query_during_member_join(self, sim, network, regions):
+        agents = build_group(sim, network, 8, regions, cls=SerfAgent)
+        sim.run_until(5.0)
+        for agent in agents:
+            agent.on_query("s", lambda p, o: {"ok": True})
+        joiner = SerfAgent(sim, network, "n8", "n8/g", regions[0])
+        joiner.on_query("s", lambda p, o: {"ok": True})
+        sim.schedule(5.5, joiner.start)
+        sim.schedule(5.6, joiner.join, [agents[0].address])
+        results = {}
+        sim.schedule(5.7, agents[0].query, "s", {}, results.update)
+        sim.run_until(12.0)
+        # At least the original group answered; the joiner may or may not
+        # have been included depending on dissemination timing.
+        assert len(results) >= 8
+
+    def test_two_concurrent_queries_do_not_interfere(self, sim, network, regions):
+        agents = build_group(sim, network, 6, regions, cls=SerfAgent)
+        sim.run_until(5.0)
+        for agent in agents:
+            agent.on_query("a", lambda p, o: {"which": "a"})
+            agent.on_query("b", lambda p, o: {"which": "b"})
+        results_a, results_b = {}, {}
+        agents[0].query("a", {}, results_a.update)
+        agents[1].query("b", {}, results_b.update)
+        sim.run_until(10.0)
+        assert len(results_a) == 6
+        assert len(results_b) == 6
+        assert all(r["which"] == "a" for r in results_a.values())
+        assert all(r["which"] == "b" for r in results_b.values())
+
+
+class TestSuspicionScaling:
+    def test_timeout_grows_with_group_size(self):
+        config = SwimConfig()
+        assert config.suspicion_timeout(4) < config.suspicion_timeout(400)
+
+    def test_minimum_group(self):
+        config = SwimConfig()
+        assert config.suspicion_timeout(0) > 0

@@ -1,0 +1,60 @@
+"""Property: naming, grouping and routing always agree.
+
+These pure-function properties underpin FOCUS's correctness: the group a
+node is *suggested into* must contain its value, and the groups a query is
+*routed to* must include every group holding matching values — for any
+values and any cutoffs.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.groups import GroupTable
+from repro.core.naming import group_base, group_name, group_range
+
+cutoffs = st.sampled_from([0.5, 1.0, 2.0, 5.0, 25.0, 2048.0])
+values = st.floats(min_value=0.0, max_value=1e4)
+
+
+class TestSuggestRouteAgreement:
+    @given(values, cutoffs)
+    def test_suggested_group_contains_value(self, value, cutoff):
+        table = GroupTable()
+        family = table.family_for_value("attr", value, cutoff)
+        group = family.open_instance_for("r", max_size=100, time=0.0)
+        assert group.contains_value(value) or value == group.range[1]
+
+    @given(values, values, values, cutoffs)
+    def test_routing_covers_every_matching_group(self, a, b, node_value, cutoff):
+        """Register a node's group; any query interval containing the
+        node's value must route to that group."""
+        lower, upper = min(a, b), max(a, b)
+        if not (lower <= node_value <= upper):
+            return
+        table = GroupTable()
+        family = table.family_for_value("attr", node_value, cutoff)
+        group = family.open_instance_for("r", max_size=100, time=0.0)
+        table.index(group)
+        covering = table.instances_covering("attr", lower, upper)
+        assert group in covering
+
+    @given(values, cutoffs)
+    def test_point_query_routes_to_exactly_the_value_group(self, value, cutoff):
+        table = GroupTable()
+        for base_offset in (-2, -1, 0, 1, 2):
+            base = group_base(value, cutoff) + base_offset * cutoff
+            if base < 0:
+                continue
+            family = table.family("attr", base, cutoff)
+            table.index(family.open_instance_for("r", 100, 0.0))
+        covering = table.instances_covering("attr", value, value)
+        names = {g.name for g in covering}
+        assert group_name("attr", value, cutoff) in names
+        # A point can touch at most two adjacent ranges (on a boundary).
+        assert len(names) <= 2
+
+    @given(values, cutoffs)
+    def test_adjacent_ranges_tile_without_gaps(self, value, cutoff):
+        base = group_base(value, cutoff)
+        low, high = group_range(base, cutoff)
+        next_low, _ = group_range(base + cutoff, cutoff)
+        assert high == next_low  # no gap, no overlap

@@ -1,0 +1,144 @@
+"""Tests for the harness: scenario builders, runners, report formatting."""
+
+import pytest
+
+from repro.core.query import Query, QueryTerm
+from repro.errors import SimulationError
+from repro.harness import (
+    build_focus_cluster,
+    drain,
+    format_table,
+    run_queries,
+    run_query,
+)
+from repro.harness.scenarios import build_single_group_cluster
+from repro.workloads import node_spec_factory
+
+
+class TestWarmStart:
+    def test_warm_start_equivalent_to_protocol_bring_up(self):
+        """Warm start must land in the same structural state a protocol
+        bring-up converges to: same groups, same members."""
+        factory = node_spec_factory(seed=9)
+        warm = build_focus_cluster(
+            24, seed=9, warm_start=True, with_store=False, node_factory=factory
+        )
+        drain(warm, 1.0)
+        cold = build_focus_cluster(
+            24, seed=9, warm_start=False, with_store=False, node_factory=factory
+        )
+        drain(cold, 20.0)
+
+        def group_map(scenario):
+            return {
+                g.name: set(g.all_node_ids())
+                for g in scenario.service.dgm.groups.all_groups()
+                if g.size_estimate() > 0
+            }
+
+        assert group_map(warm) == group_map(cold)
+
+    def test_warm_start_serf_views_populated(self):
+        scenario = build_focus_cluster(16, seed=10, warm_start=True, with_store=False)
+        for agent in scenario.agents:
+            for membership in agent.memberships.values():
+                group = scenario.service.dgm.groups.get(membership.group)
+                assert membership.serf.group_size() == group.size_estimate()
+
+    def test_warm_start_answers_queries_immediately(self):
+        scenario = build_focus_cluster(16, seed=11, warm_start=True, with_store=False)
+        response = run_query(
+            scenario, Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=0.0)
+        )
+        assert len(response.matches) == 16
+
+
+class TestSingleGroupBuilder:
+    def test_all_nodes_in_one_group(self):
+        scenario = build_single_group_cluster(30, seed=12)
+        groups = [
+            g for g in scenario.service.dgm.groups.all_groups()
+            if g.size_estimate() > 0
+        ]
+        assert len(groups) == 1
+        assert groups[0].size_estimate() == 30
+
+    def test_group_never_forks(self):
+        scenario = build_single_group_cluster(30, seed=13)
+        drain(scenario, 20.0)
+        groups = [
+            g for g in scenario.service.dgm.groups.all_groups()
+            if g.size_estimate() > 0
+        ]
+        assert len(groups) == 1
+
+
+class TestRunners:
+    def test_run_query_raises_without_response(self):
+        scenario = build_focus_cluster(4, seed=14, warm_start=True, with_store=False)
+        scenario.service.stop()  # nobody will answer
+        with pytest.raises(SimulationError):
+            run_query(
+                scenario,
+                Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=0.0),
+                max_wait=2.0,
+            )
+
+    def test_run_queries_rate(self):
+        scenario = build_focus_cluster(8, seed=15, warm_start=True, with_store=False)
+        queries = [
+            Query([QueryTerm.at_least("ram_mb", 0.0)], limit=2, freshness_ms=0.0)
+            for _ in range(5)
+        ]
+        start = scenario.sim.now
+        responses = run_queries(scenario, queries, rate=2.0)
+        assert len(responses) == 5
+        # 5 queries at 2/s -> 2.5 s of arrivals plus the settle window.
+        assert scenario.sim.now == pytest.approx(start + 2.5 + 5.0)
+
+    def test_reset_bandwidth(self):
+        scenario = build_focus_cluster(8, seed=16, warm_start=True, with_store=False)
+        drain(scenario, 10.0)
+        assert scenario.server_bandwidth_bytes() > 0
+        scenario.reset_bandwidth()
+        assert scenario.server_bandwidth_bytes() == 0
+
+    def test_agent_lookup(self):
+        scenario = build_focus_cluster(4, seed=17, warm_start=True, with_store=False)
+        assert scenario.agent(scenario.agents[2].node_id) is scenario.agents[2]
+        with pytest.raises(KeyError):
+            scenario.agent("nope")
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("long-name", 20000.0)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        assert "20,000" in lines[3]
+
+    def test_format_table_small_floats(self):
+        text = format_table(["v"], [(0.1234567,)])
+        assert "0.1235" in text
+
+    def test_format_table_zero(self):
+        assert "0" in format_table(["v"], [(0.0,)])
+
+
+class TestDeterminism:
+    def test_identical_builds_identical_traces(self):
+        def fingerprint():
+            scenario = build_focus_cluster(16, seed=18, with_store=False)
+            drain(scenario, 15.0)
+            run_query(
+                scenario,
+                Query([QueryTerm.at_least("ram_mb", 1000.0)], freshness_ms=0.0),
+            )
+            return (
+                scenario.sim.events_processed,
+                scenario.network.metrics.counter("messages_sent").value,
+                scenario.server_bandwidth_bytes(),
+            )
+
+        assert fingerprint() == fingerprint()

@@ -1,0 +1,102 @@
+"""Broker fan-out cost accounting: a fanout publish is N deliveries of work."""
+
+import pytest
+
+from repro.mq import Broker, BrokerConfig, Consumer
+from repro.sim.network import approx_size
+
+
+def bind_consumers(sim, network, region, broker, count):
+    consumers = []
+    for index in range(count):
+        consumer = Consumer(sim, network, f"c{index}", region, broker.address,
+                            f"q{index}")
+        consumer.start()
+        consumer.send(broker.address, "mq.bind",
+                      {"exchange": "x", "queue": f"q{index}"})
+        consumers.append(consumer)
+    return consumers
+
+
+def publish(sim, sender, broker, body):
+    sender.send(
+        broker.address,
+        "mq.publish",
+        {"exchange": "x", "body": body, "size": approx_size(body),
+         "sent_at": sim.now},
+    )
+
+
+class TestFanoutCpu:
+    def test_fanout_charges_per_delivery(self, sim, network, regions):
+        """With a deliberately slow broker, one fanout publish to many
+        queues builds measurable backlog, unlike a single-queue publish."""
+        config = BrokerConfig(cores=1.0, per_message_cpu=0.01)  # 10 ms/delivery
+        broker = Broker(sim, network, "broker", regions[0], config)
+        broker.start()
+        consumers = bind_consumers(sim, network, regions[0], broker, 50)
+        sim.run_until(1.0)
+        publish(sim, consumers[0], broker, {"n": 1})
+        sim.run_until(1.1)
+        # 50 deliveries x 10 ms = 0.5 s of work from one publish.
+        assert broker.backlog_seconds > 0.3
+
+    def test_all_bound_queues_receive(self, sim, network, regions):
+        broker = Broker(sim, network, "broker", regions[0])
+        broker.start()
+        consumers = bind_consumers(sim, network, regions[0], broker, 20)
+        sim.run_until(1.0)
+        publish(sim, consumers[0], broker, {"n": 1})
+        sim.run_until(3.0)
+        assert all(c.consumed == 1 for c in consumers)
+
+    def test_empty_exchange_costs_one_unit(self, sim, network, regions):
+        config = BrokerConfig(cores=1.0, per_message_cpu=0.01)
+        broker = Broker(sim, network, "broker", regions[0], config)
+        broker.start()
+        consumer = Consumer(sim, network, "lone", regions[0], "broker", "ql")
+        consumer.start()
+        sim.run_until(1.0)
+        # Publish to an exchange with no bindings: routed, nothing delivered.
+        consumer.send(
+            broker.address,
+            "mq.publish",
+            {"exchange": "ghost", "body": {}, "size": 10, "sent_at": sim.now},
+        )
+        sim.run_until(1.05)
+        assert broker.backlog_seconds < 0.02
+        assert broker.messages_routed == 1
+
+
+class TestConvergenceFootnote:
+    def test_group_query_convergence_band(self, sim, network, regions):
+        """Footnote 2 of the paper: with fanout 4 / 100 ms gossip, groups of
+        a few hundred members converge a query in well under a second."""
+        from repro.gossip import SerfAgent, SerfConfig
+        from repro.gossip.member import Member, MemberState
+
+        count = 100
+        agents = []
+        for i in range(count):
+            agent = SerfAgent(sim, network, f"n{i}", f"n{i}/serf",
+                              regions[i % len(regions)], SerfConfig())
+            agent.start()
+            agents.append(agent)
+        # Warm-seed membership (converged cluster).
+        for agent in agents:
+            for other in agents:
+                if other is not agent:
+                    agent.members.upsert(
+                        Member(other.name, other.address, other.region,
+                               0, MemberState.ALIVE, 0.0)
+                    )
+        for agent in agents:
+            agent.on_query("s", lambda p, o: {"ok": True})
+        sim.run_until(1.0)
+        done = {}
+        start = sim.now
+        agents[0].query("s", {}, lambda r: done.update(n=len(r), t=sim.now - start),
+                        timeout=3.0)
+        sim.run_until(6.0)
+        assert done["n"] == count
+        assert 0.1 < done["t"] < 1.0

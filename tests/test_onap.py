@@ -1,0 +1,167 @@
+"""Tests for the ONAP homing integration."""
+
+import pytest
+
+from repro.onap import VcpeCustomer
+from repro.onap.deployment import build_onap_deployment
+from repro.onap.models import CloudSite, VgMuxInstance, distance_miles, onap_schema
+
+
+class TestModels:
+    def test_schema_has_site_and_service_capacity(self):
+        schema = onap_schema()
+        assert schema.get("site_vcpus").is_dynamic
+        assert schema.get("mux_capacity").is_dynamic
+        assert not schema.get("sriov").is_dynamic
+
+    def test_site_attributes(self):
+        site = CloudSite("pe-1", "us-east-2", 40.0, -83.0, sriov=True, kvm_version=22)
+        static = site.static_attributes()
+        assert static["sriov"] == "yes"
+        assert static["kvm_version"] == 22
+        dynamic = site.dynamic_attributes()
+        assert dynamic["site_vcpus"] == site.site_vcpus
+
+    def test_mux_vlan_attributes(self):
+        site = CloudSite("pe-1", "us-east-2", 40.0, -83.0)
+        mux = VgMuxInstance("m1", site, vlan_tags={"vpn-3": 103})
+        static = mux.static_attributes()
+        assert static["vpn::vpn-3"] == 103
+        assert static["service_type"] == "vGMux"
+
+    def test_distance_miles_sanity(self):
+        # Columbus -> Montreal is ~600 miles.
+        assert 450 < distance_miles(39.96, -83.0, 45.5, -73.57) < 750
+        assert distance_miles(40.0, -83.0, 40.0, -83.0) == pytest.approx(0.0)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    dep = build_onap_deployment(num_sites=12, muxes_per_site=2, seed=3)
+    dep.sim.run_until(15.0)
+    return dep
+
+
+def home(deployment, customer):
+    plans = []
+    deployment.homing.home_vcpe(customer, plans.append)
+    deployment.sim.run_until(deployment.sim.now + 10.0)
+    assert len(plans) == 1
+    return plans[0]
+
+
+class TestHoming:
+    def test_successful_homing(self, deployment):
+        # Pick a VPN some mux carries, place the customer near that mux.
+        mux = deployment.muxes[0]
+        vpn = next(iter(mux.vlan_tags))
+        customer = VcpeCustomer(
+            "cust-1", vpn, lat=mux.site.lat + 0.1, lon=mux.site.lon + 0.1,
+            max_site_distance_miles=300.0,
+        )
+        plan = home(deployment, customer)
+        assert plan.ok
+        assert plan.vgmux is not None and plan.vgmux.startswith("vgmux::")
+        assert plan.vg_site is not None and plan.vg_site.startswith("site::")
+
+    def test_unknown_vpn_fails(self, deployment):
+        customer = VcpeCustomer("cust-2", "vpn-that-does-not-exist",
+                                lat=40.0, lon=-83.0)
+        plan = home(deployment, customer)
+        assert plan.failed
+        assert "vGMux" in plan.reason
+
+    def test_distance_bound_enforced(self, deployment):
+        mux = deployment.muxes[0]
+        vpn = next(iter(mux.vlan_tags))
+        # Customer in the middle of the Pacific: no site within 100 miles.
+        customer = VcpeCustomer("cust-3", vpn, lat=30.0, lon=-150.0,
+                                max_site_distance_miles=100.0)
+        plan = home(deployment, customer)
+        assert plan.failed
+        assert plan.reason == "no feasible vG site"
+
+    def test_selected_site_satisfies_policies(self, deployment):
+        mux = deployment.muxes[2]
+        vpn = next(iter(mux.vlan_tags))
+        customer = VcpeCustomer(
+            "cust-4", vpn, lat=mux.site.lat, lon=mux.site.lon,
+            max_site_distance_miles=500.0,
+        )
+        plan = home(deployment, customer)
+        if plan.ok:
+            site = next(s for s in deployment.sites if s.node_id == plan.vg_site)
+            assert site.owner == "sp"
+            assert site.sriov
+            assert site.kvm_version >= 22
+            assert (
+                distance_miles(customer.lat, customer.lon, site.lat, site.lon)
+                <= customer.max_site_distance_miles
+            )
+
+
+class TestProximity:
+    def test_closest_carrying_mux_preferred(self, deployment):
+        """Among muxes carrying the VPN with capacity, the nearest wins."""
+        vpn_counts = {}
+        for mux in deployment.muxes:
+            for vpn in mux.vlan_tags:
+                vpn_counts.setdefault(vpn, []).append(mux)
+        vpn, carriers = next(
+            (v, m) for v, m in vpn_counts.items() if len(m) >= 2
+        )
+        target = carriers[0]
+        customer = VcpeCustomer(
+            "cust-prox", vpn, lat=target.site.lat + 0.01,
+            lon=target.site.lon + 0.01, max_site_distance_miles=5000.0,
+        )
+        plans = []
+        deployment.homing.home_vcpe(customer, plans.append)
+        deployment.sim.run_until(deployment.sim.now + 10.0)
+        plan = plans[0]
+        assert plan.ok
+        chosen = next(m for m in deployment.muxes if m.node_id == plan.vgmux)
+        best = min(
+            carriers,
+            key=lambda m: distance_miles(customer.lat, customer.lon,
+                                         m.site.lat, m.site.lon),
+        )
+        assert chosen.node_id == best.node_id
+
+
+class TestDynamicCapacity:
+    def test_exhausted_mux_not_selected(self):
+        dep = build_onap_deployment(num_sites=8, muxes_per_site=1, seed=5)
+        dep.sim.run_until(15.0)
+        mux = dep.muxes[0]
+        vpn = next(iter(mux.vlan_tags))
+        customer = VcpeCustomer("cust-a", vpn, lat=mux.site.lat, lon=mux.site.lon,
+                                max_site_distance_miles=2000.0)
+        # Drain the mux's capacity below the demand and let FOCUS learn it.
+        dep.consume_mux(mux.node_id, mux.mux_capacity - 10.0)
+        dep.sim.run_until(dep.sim.now + 10.0)
+        plans = []
+        dep.homing.home_vcpe(customer, plans.append)
+        dep.sim.run_until(dep.sim.now + 10.0)
+        plan = plans[0]
+        # Either another mux carries the VPN, or homing correctly fails.
+        assert plan.vgmux != mux.node_id
+
+    def test_static_inventory_blind_to_capacity(self):
+        """The legacy inventory homes onto the exhausted mux anyway."""
+        dep = build_onap_deployment(num_sites=8, muxes_per_site=1, seed=5)
+        dep.sim.run_until(15.0)
+        mux = dep.muxes[0]
+        vpn = next(iter(mux.vlan_tags))
+        customer = VcpeCustomer("cust-b", vpn, lat=mux.site.lat, lon=mux.site.lon,
+                                max_site_distance_miles=2000.0)
+        dep.consume_mux(mux.node_id, mux.mux_capacity - 10.0)
+        dep.sim.run_until(dep.sim.now + 10.0)
+        plan = dep.inventory.home_vcpe(customer)
+        assert plan.ok
+        assert plan.vgmux == mux.node_id  # blindly picked the drained mux
+
+
+class TestStatistics:
+    def test_success_rate(self, deployment):
+        assert 0.0 <= deployment.homing.success_rate() <= 1.0

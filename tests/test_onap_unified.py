@@ -1,0 +1,75 @@
+"""Unified homing (§II-B's closing direction): sites + hosts in one FOCUS."""
+
+import pytest
+
+from repro.onap import VcpeCustomer
+from repro.onap.deployment import build_onap_deployment
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    dep = build_onap_deployment(
+        num_sites=8, muxes_per_site=1, hosts_per_site=4, seed=7
+    )
+    dep.sim.run_until(15.0)
+    return dep
+
+
+def home_unified(deployment, customer):
+    plans = []
+    deployment.homing.home_vcpe_unified(customer, plans.append)
+    deployment.sim.run_until(deployment.sim.now + 15.0)
+    assert len(plans) == 1
+    return plans[0]
+
+
+class TestUnifiedHoming:
+    def test_hosts_registered_alongside_sites(self, deployment):
+        hosts = [n for n in deployment.agents if n.startswith("host::")]
+        assert len(hosts) == 8 * 4
+        assert len(deployment.focus.registrar.nodes) == len(deployment.agents)
+
+    def test_plan_resolves_down_to_a_host(self, deployment):
+        mux = deployment.muxes[0]
+        vpn = next(iter(mux.vlan_tags))
+        customer = VcpeCustomer(
+            "cust-u1", vpn, lat=mux.site.lat + 0.1, lon=mux.site.lon + 0.1,
+            max_site_distance_miles=500.0,
+        )
+        plan = home_unified(deployment, customer)
+        assert plan.ok, plan.reason
+        assert plan.vg_host is not None and plan.vg_host.startswith("host::")
+        # The host belongs to the selected site.
+        site_id = plan.vg_site.split("::", 1)[1]
+        assert plan.vg_host.startswith(f"host::{site_id}-")
+
+    def test_selected_host_has_capacity(self, deployment):
+        mux = deployment.muxes[1]
+        vpn = next(iter(mux.vlan_tags))
+        customer = VcpeCustomer(
+            "cust-u2", vpn, lat=mux.site.lat, lon=mux.site.lon,
+            max_site_distance_miles=500.0, vg_ram_mb=16384.0, vg_vcpus=8.0,
+        )
+        plan = home_unified(deployment, customer)
+        if plan.ok:
+            host = deployment.agents[plan.vg_host]
+            assert host.dynamic["host_ram_mb"] >= 16384.0
+            assert host.dynamic["host_vcpus"] >= 8.0
+
+    def test_exhausted_hosts_fail_the_plan(self, deployment):
+        """Drain every host in every feasible site; unified homing must
+        refuse instead of handing out a site without host capacity."""
+        mux = deployment.muxes[2]
+        vpn = next(iter(mux.vlan_tags))
+        customer = VcpeCustomer(
+            "cust-u3", vpn, lat=mux.site.lat, lon=mux.site.lon,
+            max_site_distance_miles=500.0,
+        )
+        for node_id, agent in deployment.agents.items():
+            if node_id.startswith("host::"):
+                agent.set_attribute("host_ram_mb", 64.0)
+                agent.set_attribute("host_vcpus", 1.0)
+        deployment.sim.run_until(deployment.sim.now + 12.0)
+        plan = home_unified(deployment, customer)
+        assert plan.failed
+        assert plan.reason == "no host with capacity in site"

@@ -1,0 +1,139 @@
+"""Tests for the OpenStack integration: libvirt, placement, scheduler."""
+
+import pytest
+
+from repro.openstack import FakeLibvirt, PlacementRequest, VirtualMachine
+from repro.openstack.cloud import build_openstack_cloud
+
+
+class TestFakeLibvirt:
+    def test_initial_resources_free(self):
+        hv = FakeLibvirt(total_ram_mb=1000, total_disk_gb=10, total_vcpus=4)
+        assert hv.free_ram_mb == 1000
+        assert hv.free_disk_gb == 10
+        assert hv.free_vcpus == 4
+
+    def test_spawn_consumes_resources(self):
+        hv = FakeLibvirt(total_ram_mb=1000, total_disk_gb=10, total_vcpus=4)
+        assert hv.spawn(VirtualMachine("vm1", 400, 5, 2))
+        assert hv.free_ram_mb == 600
+        assert hv.free_disk_gb == 5
+        assert hv.free_vcpus == 2
+
+    def test_spawn_over_capacity_refused(self):
+        hv = FakeLibvirt(total_ram_mb=1000, total_disk_gb=10, total_vcpus=4)
+        assert not hv.spawn(VirtualMachine("big", 2000, 1, 1))
+        assert hv.domains == {}
+
+    def test_duplicate_domain_rejected(self):
+        hv = FakeLibvirt()
+        hv.spawn(VirtualMachine("vm1", 100, 1, 1))
+        with pytest.raises(ValueError):
+            hv.spawn(VirtualMachine("vm1", 100, 1, 1))
+
+    def test_destroy_releases_resources(self):
+        hv = FakeLibvirt(total_ram_mb=1000, total_disk_gb=10, total_vcpus=4)
+        hv.spawn(VirtualMachine("vm1", 400, 5, 2))
+        hv.destroy("vm1")
+        assert hv.free_ram_mb == 1000
+        assert hv.destroy("ghost") is None
+
+    def test_cpu_percent_grows_with_load(self):
+        hv = FakeLibvirt(total_vcpus=4)
+        idle = hv.cpu_percent()
+        hv.spawn(VirtualMachine("vm1", 100, 1, 2))
+        assert hv.cpu_percent() > idle
+
+    def test_collector_snapshot(self):
+        hv = FakeLibvirt(total_ram_mb=1000, total_disk_gb=10, total_vcpus=4)
+        snapshot = hv.collect()
+        assert snapshot["ram_mb"] == 1000.0
+        assert set(snapshot) == {"ram_mb", "disk_gb", "vcpus", "cpu_percent"}
+
+
+class TestPlacementRequest:
+    def test_to_query(self):
+        request = PlacementRequest({"MEMORY_MB": 2048, "VCPU": 2}, limit=5)
+        query = request.to_query()
+        assert query.limit == 5
+        assert query.term("ram_mb").lower == 2048.0
+        assert query.term("vcpus").lower == 2.0
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementRequest({"GPU": 1})
+
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementRequest({"VCPU": 1}, limit=0)
+
+
+def place(cloud, resources, count=1):
+    outcomes = []
+    for _ in range(count):
+        cloud.scheduler.select_destinations(
+            PlacementRequest(resources), outcomes.append
+        )
+        cloud.sim.run_until(cloud.sim.now + 5.0)
+    return outcomes
+
+
+@pytest.mark.parametrize("mode", ["focus", "mq"])
+class TestEndToEndPlacement:
+    def test_vm_lands_on_a_host(self, mode):
+        cloud = build_openstack_cloud(12, mode=mode, seed=1)
+        cloud.sim.run_until(12.0)
+        outcomes = place(cloud, {"MEMORY_MB": 2048, "DISK_GB": 10, "VCPU": 2})
+        assert outcomes[0].ok
+        host = cloud.host(outcomes[0].host)
+        assert len(host.hypervisor.domains) == 1
+
+    def test_placements_spread_and_fill(self, mode):
+        cloud = build_openstack_cloud(8, mode=mode, seed=2)
+        cloud.sim.run_until(12.0)
+        outcomes = place(cloud, {"MEMORY_MB": 4096, "DISK_GB": 10, "VCPU": 2}, count=10)
+        assert sum(1 for o in outcomes if o.ok) == 10
+        assert cloud.total_vms() == 10
+
+    def test_chosen_host_had_capacity(self, mode):
+        cloud = build_openstack_cloud(6, mode=mode, seed=3)
+        cloud.sim.run_until(12.0)
+        outcomes = place(cloud, {"MEMORY_MB": 8192, "DISK_GB": 40, "VCPU": 4})
+        assert outcomes[0].ok
+        host = cloud.host(outcomes[0].host)
+        assert host.hypervisor.free_ram_mb >= 0
+
+
+class TestCapacityExhaustion:
+    def test_cloud_fills_up_and_reports_failure(self):
+        # 4 hosts x 8 vCPUs; each VM takes 4 vCPUs -> 8 VMs fit.
+        cloud = build_openstack_cloud(4, mode="focus", seed=4)
+        cloud.sim.run_until(12.0)
+        outcomes = place(cloud, {"MEMORY_MB": 2048, "DISK_GB": 5, "VCPU": 4}, count=10)
+        assert sum(1 for o in outcomes if o.ok) == 8
+        assert sum(1 for o in outcomes if not o.ok) == 2
+        assert cloud.total_vms() == 8
+
+    def test_focus_placement_sees_updated_capacity(self):
+        """After filling a host, subsequent directed pulls must exclude it."""
+        cloud = build_openstack_cloud(3, mode="focus", seed=5)
+        cloud.sim.run_until(12.0)
+        first = place(cloud, {"MEMORY_MB": 12288, "DISK_GB": 10, "VCPU": 6})[0]
+        assert first.ok
+        # Let the attribute move propagate.
+        cloud.sim.run_until(cloud.sim.now + 8.0)
+        second = place(cloud, {"MEMORY_MB": 12288, "DISK_GB": 10, "VCPU": 6})[0]
+        assert second.ok
+        assert second.host != first.host
+
+
+class TestBuilderValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_openstack_cloud(2, mode="bogus")
+
+    def test_mq_mode_without_broker_rejected(self, sim, network, regions):
+        from repro.openstack import ComputeHost
+
+        with pytest.raises(ValueError):
+            ComputeHost(sim, network, "h1", regions[0], mode="mq")

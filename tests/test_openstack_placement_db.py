@@ -1,0 +1,103 @@
+"""Unit tests for the placement backends' staleness and mapping details."""
+
+import pytest
+
+from repro.mq import Broker
+from repro.openstack import ComputeHost, FakeLibvirt, PlacementRequest, VirtualMachine
+from repro.openstack.placement import (
+    Candidate,
+    DbAllocationCandidates,
+    RESOURCE_ATTRIBUTES,
+    _candidates_from_matches,
+)
+
+
+class TestCandidateMapping:
+    def test_resource_attribute_mapping_complete(self):
+        assert set(RESOURCE_ATTRIBUTES) == {"MEMORY_MB", "DISK_GB", "VCPU"}
+        assert RESOURCE_ATTRIBUTES["MEMORY_MB"] == "ram_mb"
+
+    def test_candidates_from_matches(self):
+        matches = [
+            {"node": "h1", "attrs": {"ram_mb": 1000.0, "disk_gb": 10.0,
+                                     "vcpus": 2.0}, "region": "us-east-2"},
+        ]
+        candidates = _candidates_from_matches(matches)
+        assert candidates[0].host == "h1"
+        assert candidates[0].free == {"MEMORY_MB": 1000.0, "DISK_GB": 10.0,
+                                      "VCPU": 2.0}
+        assert candidates[0].region == "us-east-2"
+
+    def test_missing_attrs_default_to_zero(self):
+        candidates = _candidates_from_matches([{"node": "h1", "attrs": {}}])
+        assert candidates[0].free["MEMORY_MB"] == 0.0
+
+
+@pytest.fixture
+def db_setup(sim, network, regions):
+    broker = Broker(sim, network, "broker", regions[0])
+    broker.start()
+    db = DbAllocationCandidates(sim, network, "db", regions[0], broker.address)
+    db.start()
+    host = ComputeHost(
+        sim, network, "h1", regions[0], mode="mq",
+        broker_address=broker.address,
+        hypervisor=FakeLibvirt(total_ram_mb=8192, total_disk_gb=50, total_vcpus=4),
+    )
+    host.start()
+    return broker, db, host
+
+
+class TestDbBackend:
+    def test_db_learns_pushed_state(self, sim, db_setup):
+        _, db, host = db_setup
+        sim.run_until(3.0)
+        assert "h1" in db.states
+        assert db.states["h1"]["ram_mb"] == 8192.0
+
+    def test_db_staleness_window(self, sim, db_setup):
+        """Between pushes the DB serves the old state — the §III criticism."""
+        _, db, host = db_setup
+        sim.run_until(3.0)
+        host.hypervisor.spawn(VirtualMachine("vm", 4096, 10, 2))
+        # Immediately after the spawn, before the next push lands:
+        assert db.states["h1"]["ram_mb"] == 8192.0
+        sim.run_until(sim.now + 2.0)
+        assert db.states["h1"]["ram_mb"] == 4096.0
+
+    def test_get_by_requests_filters_and_limits(self, sim, db_setup):
+        _, db, host = db_setup
+        sim.run_until(3.0)
+        results = []
+        db.get_by_requests(
+            PlacementRequest({"MEMORY_MB": 4096, "VCPU": 2}, limit=5),
+            results.append,
+        )
+        sim.run_until(sim.now + 1.0)
+        assert len(results[0]) == 1
+        assert results[0][0].host == "h1"
+
+        results.clear()
+        db.get_by_requests(
+            PlacementRequest({"MEMORY_MB": 999999}, limit=5), results.append
+        )
+        sim.run_until(sim.now + 1.0)
+        assert results[0] == []
+
+
+class TestComputeHostMq:
+    def test_push_carries_full_attribute_view(self, sim, db_setup):
+        _, db, host = db_setup
+        sim.run_until(3.0)
+        attrs = db.states["h1"]
+        assert {"ram_mb", "disk_gb", "vcpus", "cpu_percent", "region"} <= set(attrs)
+
+    def test_destroy_frees_capacity_on_next_push(self, sim, db_setup):
+        _, db, host = db_setup
+        sim.run_until(3.0)
+        host.hypervisor.spawn(VirtualMachine("vm", 4096, 10, 2))
+        sim.run_until(sim.now + 2.0)
+        assert db.states["h1"]["ram_mb"] == 4096.0
+        host.hypervisor.destroy("vm")
+        sim.run_until(sim.now + 2.0)
+        assert db.states["h1"]["ram_mb"] == 8192.0

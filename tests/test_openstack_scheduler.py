@@ -1,0 +1,138 @@
+"""Scheduler-specific tests: rescheduling, anti-herd subset, live migration."""
+
+import pytest
+
+from repro.openstack import PlacementRequest
+from repro.openstack.cloud import build_openstack_cloud
+
+
+def place(cloud, resources, **kwargs):
+    outcomes = []
+    cloud.scheduler.select_destinations(
+        PlacementRequest(resources), outcomes.append, **kwargs
+    )
+    cloud.sim.run_until(cloud.sim.now + 8.0)
+    assert outcomes
+    return outcomes[0]
+
+
+class TestSelectDestinations:
+    def test_no_backend_raises(self, sim, network, regions):
+        from repro.openstack.scheduler import Scheduler
+
+        scheduler = Scheduler(sim, network, "sched", regions[0])
+        scheduler.start()
+        with pytest.raises(RuntimeError):
+            scheduler.select_destinations(
+                PlacementRequest({"VCPU": 1}), lambda outcome: None
+            )
+
+    def test_no_candidates_fails_fast(self):
+        cloud = build_openstack_cloud(3, mode="focus", seed=21)
+        cloud.sim.run_until(10.0)
+        outcome = place(cloud, {"MEMORY_MB": 999999})
+        assert not outcome.ok
+        assert outcome.error == "no candidates"
+
+    def test_reschedule_consumes_attempts(self):
+        """When every candidate refuses, the scheduler re-queries before
+        giving up (Nova's re-scheduling)."""
+        cloud = build_openstack_cloud(2, mode="focus", seed=22)
+        cloud.sim.run_until(10.0)
+        # Fill both hosts completely.
+        for host in cloud.hosts:
+            from repro.openstack.libvirt import VirtualMachine
+
+            host.hypervisor.spawn(VirtualMachine("filler", 16384, 100, 8))
+        outcome = place(cloud, {"MEMORY_MB": 4096, "DISK_GB": 10, "VCPU": 2})
+        assert not outcome.ok
+
+    def test_host_subset_spreads_placements(self):
+        cloud = build_openstack_cloud(8, mode="focus", seed=23)
+        cloud.sim.run_until(10.0)
+        hosts = set()
+        for _ in range(6):
+            outcome = place(cloud, {"MEMORY_MB": 1024, "DISK_GB": 2, "VCPU": 1})
+            assert outcome.ok
+            hosts.add(outcome.host)
+        assert len(hosts) >= 3  # subset shuffle avoided pure herding
+
+    def test_failure_rate_statistic(self):
+        cloud = build_openstack_cloud(2, mode="focus", seed=24)
+        cloud.sim.run_until(10.0)
+        place(cloud, {"MEMORY_MB": 2048, "DISK_GB": 5, "VCPU": 1})
+        place(cloud, {"MEMORY_MB": 999999})
+        assert 0.0 < cloud.scheduler.failure_rate() < 1.0
+
+
+class TestLiveMigration:
+    def build_loaded_cloud(self, seed=25):
+        cloud = build_openstack_cloud(4, mode="focus", seed=seed)
+        cloud.sim.run_until(10.0)
+        outcome = place(cloud, {"MEMORY_MB": 4096, "DISK_GB": 10, "VCPU": 2})
+        assert outcome.ok
+        return cloud, outcome.host
+
+    def test_migration_moves_the_vm(self):
+        cloud, source = self.build_loaded_cloud()
+        vm_name = next(iter(cloud.host(source).hypervisor.domains))
+        outcomes = []
+        cloud.scheduler.migrate(
+            vm_name, source, {"MEMORY_MB": 4096, "DISK_GB": 10, "VCPU": 2},
+            outcomes.append,
+        )
+        cloud.sim.run_until(cloud.sim.now + 10.0)
+        outcome = outcomes[0]
+        assert outcome.ok
+        assert outcome.host != source
+        assert vm_name not in cloud.host(source).hypervisor.domains
+        assert vm_name in cloud.host(outcome.host).hypervisor.domains
+
+    def test_migration_frees_source_resources(self):
+        cloud, source = self.build_loaded_cloud(seed=26)
+        host = cloud.host(source)
+        free_before = host.hypervisor.free_ram_mb
+        vm_name = next(iter(host.hypervisor.domains))
+        outcomes = []
+        cloud.scheduler.migrate(
+            vm_name, source, {"MEMORY_MB": 4096, "DISK_GB": 10, "VCPU": 2},
+            outcomes.append,
+        )
+        cloud.sim.run_until(cloud.sim.now + 10.0)
+        assert host.hypervisor.free_ram_mb == free_before + 4096
+
+    def test_migration_excludes_source(self):
+        """Even if the source is the best candidate, it is never chosen."""
+        cloud, source = self.build_loaded_cloud(seed=27)
+        vm_name = next(iter(cloud.host(source).hypervisor.domains))
+        for _ in range(3):
+            outcomes = []
+            cloud.scheduler.migrate(
+                vm_name, source, {"MEMORY_MB": 1024, "DISK_GB": 1, "VCPU": 1},
+                outcomes.append,
+            )
+            cloud.sim.run_until(cloud.sim.now + 10.0)
+            assert outcomes[0].host != source
+            source = outcomes[0].host  # keep migrating it around
+
+    def test_migration_fails_when_no_target_fits(self):
+        cloud = build_openstack_cloud(2, mode="focus", seed=28)
+        cloud.sim.run_until(10.0)
+        outcome = place(cloud, {"MEMORY_MB": 12288, "DISK_GB": 50, "VCPU": 6})
+        assert outcome.ok
+        other = next(h for h in cloud.hosts if h.host_id != outcome.host)
+        from repro.openstack.libvirt import VirtualMachine
+
+        other.hypervisor.spawn(VirtualMachine("blocker", 12288, 60, 6))
+        cloud.sim.run_until(cloud.sim.now + 5.0)
+        vm_name = next(iter(cloud.host(outcome.host).hypervisor.domains))
+        outcomes = []
+        cloud.scheduler.migrate(
+            vm_name, outcome.host,
+            {"MEMORY_MB": 12288, "DISK_GB": 50, "VCPU": 6},
+            outcomes.append,
+        )
+        cloud.sim.run_until(cloud.sim.now + 10.0)
+        assert not outcomes[0].ok
+        # The VM stayed put.
+        assert vm_name in cloud.host(outcome.host).hypervisor.domains

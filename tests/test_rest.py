@@ -1,0 +1,100 @@
+"""Tests for the application-side client (REST equivalent) and delegation."""
+
+import pytest
+
+from repro.core.config import FocusConfig
+from repro.core.query import Query, QueryTerm
+from repro.core.rest import Application, QueryResponse
+from repro.harness import build_focus_cluster, drain, run_query
+
+
+class TestQueryResponse:
+    def test_node_ids(self):
+        response = QueryResponse(
+            matches=[{"node": "a"}, {"node": "b"}], source="groups", elapsed=0.1
+        )
+        assert response.node_ids == ["a", "b"]
+
+    def test_defaults(self):
+        response = QueryResponse(matches=[], source="cache", elapsed=0.0)
+        assert not response.timed_out
+        assert response.error is None
+
+
+class TestClient:
+    def test_timeout_produces_timeout_response(self, sim, network, regions):
+        app = Application(sim, network, "app", regions[0], "nobody-home")
+        app.start()
+        responses = []
+        app.query(
+            Query([QueryTerm.at_least("x", 1.0)]),
+            responses.append,
+        )
+        sim.run_until(15.0)
+        assert len(responses) == 1
+        assert responses[0].timed_out
+        assert responses[0].source == "timeout"
+
+    def test_application_collects_responses(self):
+        scenario = build_focus_cluster(8, seed=31, warm_start=True, with_store=False)
+        run_query(scenario, Query([QueryTerm.at_least("ram_mb", 0.0)], limit=2,
+                                  freshness_ms=0.0))
+        run_query(scenario, Query([QueryTerm.at_least("disk_gb", 0.0)], limit=2,
+                                  freshness_ms=0.0))
+        assert len(scenario.app.responses) == 2
+
+    def test_error_surfaced(self):
+        scenario = build_focus_cluster(8, seed=32, warm_start=True, with_store=False)
+        response = run_query(
+            scenario, Query([QueryTerm("ram_mb", equals="not-numeric")])
+        )
+        assert response.error is not None
+        assert response.source == "error"
+
+
+class TestDelegationDetails:
+    def make_delegating(self, num_nodes=16, seed=33):
+        config = FocusConfig(delegation_enabled=True, delegation_threshold=0)
+        scenario = build_focus_cluster(
+            num_nodes, seed=seed, with_store=False, config=config
+        )
+        drain(scenario, 12.0)
+        return scenario
+
+    def test_delegated_pull_with_crashed_candidate(self):
+        scenario = self.make_delegating()
+        # Crash one node; the client's pull must still complete via the
+        # per-group timeout.
+        scenario.agents[3].stop()
+        drain(scenario, 1.0)
+        response = run_query(
+            scenario,
+            Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=0.0),
+            max_wait=30.0,
+        )
+        assert response.source == "delegated"
+        assert scenario.agents[3].node_id not in response.node_ids
+        assert len(response.matches) >= 10
+
+    def test_delegated_empty_plan(self):
+        scenario = self.make_delegating()
+        # A range no group covers: the delegation payload has no candidates.
+        response = run_query(
+            scenario,
+            Query([QueryTerm.at_least("ram_mb", 999999.0)], freshness_ms=0.0),
+        )
+        assert response.source == "delegated"
+        assert response.matches == []
+
+    def test_delegated_matches_equal_direct(self):
+        config = FocusConfig(delegation_enabled=True, delegation_threshold=0)
+        delegated = build_focus_cluster(16, seed=34, with_store=False, config=config)
+        drain(delegated, 12.0)
+        direct = build_focus_cluster(16, seed=34, with_store=False)
+        drain(direct, 12.0)
+        query = Query([QueryTerm.at_most("cpu_percent", 60.0)], freshness_ms=0.0)
+        a = run_query(delegated, query)
+        b = run_query(direct, query)
+        assert set(a.node_ids) == set(b.node_ids)
+        assert a.source == "delegated"
+        assert b.source == "groups"

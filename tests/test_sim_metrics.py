@@ -1,0 +1,175 @@
+"""Unit and property tests for metrics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.metrics import (
+    BandwidthMeter,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_peak(self):
+        g = Gauge("g")
+        g.set(5.0)
+        g.set(2.0)
+        assert g.value == 2.0
+        assert g.peak == 5.0
+
+    def test_add(self):
+        g = Gauge("g")
+        g.add(3.0)
+        g.add(-1.0)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_empty_stats_are_nan(self):
+        h = Histogram("h")
+        assert math.isnan(h.mean())
+        assert math.isnan(h.percentile(50))
+
+    def test_basic_percentiles(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_bounds_checked(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+    def test_observe_after_percentile(self):
+        h = Histogram("h")
+        h.observe(10.0)
+        assert h.percentile(50) == 10.0
+        h.observe(0.0)
+        assert h.percentile(0) == 0.0
+
+    def test_summary_fields(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["max"] == 3.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    def test_percentiles_monotone_and_bounded(self, values):
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        p50, p75, p99 = h.percentile(50), h.percentile(75), h.percentile(99)
+        # Linear interpolation can exceed the extremes by float epsilon.
+        tolerance = 1e-9 + abs(max(values)) * 1e-12
+        assert min(values) - tolerance <= p50 <= p75 + tolerance
+        assert p75 <= p99 + tolerance
+        assert p99 <= max(values) + tolerance
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
+    def test_percentile_matches_numpy(self, values):
+        import numpy
+
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        for p in (25, 50, 90):
+            assert h.percentile(p) == pytest.approx(
+                float(numpy.percentile(values, p)), rel=1e-6, abs=1e-6
+            )
+
+
+class TestTimeSeries:
+    def test_window_and_mean(self):
+        ts = TimeSeries("t")
+        for i in range(10):
+            ts.record(float(i), float(i) * 2)
+        assert len(ts.window(2.0, 4.0)) == 3
+        assert ts.mean_over(0.0, 9.0) == pytest.approx(9.0)
+
+    def test_mean_empty_window_nan(self):
+        ts = TimeSeries("t")
+        assert math.isnan(ts.mean_over(0, 1))
+
+
+class TestBandwidthMeter:
+    def test_totals(self):
+        m = BandwidthMeter("m")
+        m.on_send(0.0, 100)
+        m.on_receive(1.0, 50)
+        assert m.bytes_sent == 100
+        assert m.bytes_received == 50
+        assert m.total_bytes == 150
+        assert m.messages_sent == 1
+        assert m.messages_received == 1
+
+    def test_windowed_rate(self):
+        m = BandwidthMeter("m")
+        for t in range(10):
+            m.on_send(float(t), 100)
+        assert m.bytes_in_window(0.0, 4.0) == 500
+        assert m.rate_bps(0.0, 10.0) == pytest.approx(100.0)
+
+    def test_rate_requires_positive_window(self):
+        m = BandwidthMeter("m")
+        with pytest.raises(ValueError):
+            m.rate_bps(1.0, 1.0)
+
+    def test_reset(self):
+        m = BandwidthMeter("m")
+        m.on_send(0.0, 100)
+        m.reset()
+        assert m.total_bytes == 0
+        assert m.bytes_in_window(0, 10) == 0
+
+    def test_no_event_recording(self):
+        m = BandwidthMeter("m", record_events=False)
+        m.on_send(0.0, 100)
+        assert m.bytes_sent == 100
+        assert m.bytes_in_window(0, 10) == 0  # events not kept
+
+
+class TestRegistry:
+    def test_same_name_same_instance(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+        assert r.timeseries("t") is r.timeseries("t")
+
+    def test_names_listing(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        r.histogram("b")
+        names = r.names()
+        assert "a" in names["counters"]
+        assert "b" in names["histograms"]
+
+    def test_get_counter_missing(self):
+        assert MetricsRegistry().get_counter("nope") is None

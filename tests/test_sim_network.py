@@ -1,0 +1,189 @@
+"""Unit tests for the network: delivery, sizes, accounting, failures."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetworkError
+from repro.sim import Network, Simulator, Topology, approx_size
+from repro.sim.network import MESSAGE_OVERHEAD_BYTES
+
+
+class Sink:
+    def __init__(self, address, region):
+        self.address = address
+        self.region = region
+        self.received = []
+
+    def handle_message(self, message):
+        self.received.append(message)
+
+
+def wire(network, address, region=None):
+    region = region or network.topology.regions[0].name
+    endpoint = Sink(address, region)
+    network.register(endpoint)
+    return endpoint
+
+
+class TestApproxSize:
+    # Wire payloads in this system are ASCII identifiers and numbers; exotic
+    # unicode would be escaped by JSON and balloon past the estimate.
+    _ascii = st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20
+    )
+
+    @given(
+        st.recursive(
+            st.none() | st.booleans() | st.integers(-1e9, 1e9)
+            | st.floats(allow_nan=False, allow_infinity=False, width=32)
+            | _ascii,
+            lambda children: st.lists(children, max_size=5)
+            | st.dictionaries(
+                st.text(
+                    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                    max_size=8,
+                ),
+                children,
+                max_size=5,
+            ),
+            max_leaves=20,
+        )
+    )
+    def test_tracks_json_size(self, payload):
+        """The estimate stays within a constant plus 2x of the real size."""
+        estimate = approx_size(payload)
+        actual = len(json.dumps(payload))
+        assert estimate <= 4 * actual + 16
+        assert actual <= 4 * estimate + 16
+
+    def test_dict_estimate_close(self):
+        payload = {"node": "node-00042", "ram_mb": 4096, "region": "us-east-2"}
+        actual = len(json.dumps(payload))
+        assert abs(approx_size(payload) - actual) < 20
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self, sim, network):
+        a = wire(network, "a", "us-east-2")
+        b = wire(network, "b", "us-west-2")
+        network.send("a", "b", "hello", {"x": 1})
+        base = network.topology.latency("us-east-2", "us-west-2")
+        sim.run_until(base * 0.99)
+        assert b.received == []
+        sim.run_until(base * (1 + network.jitter_fraction) + 0.001)
+        assert len(b.received) == 1
+        assert b.received[0].kind == "hello"
+
+    def test_intra_region_faster_than_cross(self, sim, network):
+        wire(network, "a", "us-east-2")
+        local = wire(network, "b", "us-east-2")
+        remote = wire(network, "c", "us-west-2")
+        network.send("a", "b", "m", {})
+        network.send("a", "c", "m", {})
+        sim.run_until(0.005)
+        assert len(local.received) == 1
+        assert len(remote.received) == 0
+
+    def test_send_from_unregistered_raises(self, network):
+        wire(network, "b")
+        with pytest.raises(NetworkError):
+            network.send("ghost", "b", "m", {})
+
+    def test_send_to_unknown_destination_dropped(self, sim, network):
+        wire(network, "a")
+        network.send("a", "ghost", "m", {})
+        sim.run_until(1.0)
+        assert network.metrics.counter("messages_dropped").value == 1
+
+    def test_duplicate_registration_rejected(self, network):
+        wire(network, "a")
+        with pytest.raises(NetworkError):
+            wire(network, "a")
+
+    def test_unknown_region_rejected(self, network):
+        with pytest.raises(NetworkError):
+            network.register(Sink("x", "atlantis"))
+
+    def test_delivery_tap_sees_messages(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        seen = []
+        network.add_delivery_tap(seen.append)
+        network.send("a", "b", "m", {"v": 1})
+        sim.run_until(1.0)
+        assert len(seen) == 1
+
+
+class TestAccounting:
+    def test_meters_track_bytes_both_ends(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        network.send("a", "b", "m", {}, size=100)
+        sim.run_until(1.0)
+        expected = 100 + MESSAGE_OVERHEAD_BYTES
+        assert network.meter("a").bytes_sent == expected
+        assert network.meter("b").bytes_received == expected
+
+    def test_rate_over_window(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        for i in range(10):
+            sim.schedule(i * 1.0, network.send, "a", "b", "m", {}, )
+        sim.run_until(20.0)
+        rate = network.meter("b").rate_bps(0.0, 10.0)
+        assert rate > 0
+
+    def test_meter_reset(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        network.send("a", "b", "m", {})
+        sim.run_until(1.0)
+        network.meter("a").reset()
+        assert network.meter("a").bytes_sent == 0
+
+
+class TestFailureInjection:
+    def test_blocked_pair_drops(self, sim, network):
+        wire(network, "a")
+        b = wire(network, "b")
+        network.block("a", "b")
+        network.send("a", "b", "m", {})
+        sim.run_until(1.0)
+        assert b.received == []
+        network.unblock("a", "b")
+        network.send("a", "b", "m", {})
+        sim.run_until(2.0)
+        assert len(b.received) == 1
+
+    def test_region_partition(self, sim, network):
+        wire(network, "a", "us-east-2")
+        b = wire(network, "b", "us-west-2")
+        network.partition_regions("us-east-2", "us-west-2")
+        network.send("a", "b", "m", {})
+        sim.run_until(1.0)
+        assert b.received == []
+        network.heal_regions("us-east-2", "us-west-2")
+        network.send("a", "b", "m", {})
+        sim.run_until(2.0)
+        assert len(b.received) == 1
+
+    def test_loss_rate_drops_fraction(self, sim):
+        network = Network(sim, Topology(), loss_rate=0.5)
+        wire(network, "a")
+        b = wire(network, "b")
+        for _ in range(200):
+            network.send("a", "b", "m", {})
+        sim.run_until(1.0)
+        assert 40 < len(b.received) < 160
+
+    def test_heal_all(self, sim, network):
+        wire(network, "a")
+        b = wire(network, "b")
+        network.block("a", "b")
+        network.partition_regions("us-east-2", "us-west-2")
+        network.heal_all()
+        network.send("a", "b", "m", {})
+        sim.run_until(1.0)
+        assert len(b.received) == 1

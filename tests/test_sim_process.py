@@ -1,0 +1,96 @@
+"""Unit tests for the Process base class."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.process import Process
+
+
+class Echo(Process):
+    def __init__(self, sim, network, address, region):
+        super().__init__(sim, network, address, region)
+        self.seen = []
+        self.unhandled = []
+        self.on("echo", self.seen.append)
+
+    def on_unhandled(self, message):
+        self.unhandled.append(message)
+
+
+@pytest.fixture
+def pair(sim, network, regions):
+    a = Echo(sim, network, "a", regions[0])
+    b = Echo(sim, network, "b", regions[0])
+    a.start()
+    b.start()
+    return a, b
+
+
+class TestDispatch:
+    def test_handler_receives_message(self, sim, pair):
+        a, b = pair
+        a.send("b", "echo", {"v": 1})
+        sim.run_until(1.0)
+        assert len(b.seen) == 1
+
+    def test_unhandled_hook(self, sim, pair):
+        a, b = pair
+        a.send("b", "mystery", {})
+        sim.run_until(1.0)
+        assert len(b.unhandled) == 1
+
+    def test_duplicate_handler_rejected(self, pair):
+        a, _ = pair
+        with pytest.raises(SimulationError):
+            a.on("echo", lambda m: None)
+
+    def test_stopped_process_ignores_messages(self, sim, pair):
+        a, b = pair
+        b.stop()
+        a.send("b", "echo", {})
+        sim.run_until(1.0)
+        assert b.seen == []
+
+    def test_send_after_stop_is_noop(self, sim, pair):
+        a, b = pair
+        a.stop()
+        a.send("b", "echo", {})
+        sim.run_until(1.0)
+        assert b.seen == []
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, pair):
+        a, _ = pair
+        with pytest.raises(SimulationError):
+            a.start()
+
+    def test_stop_is_idempotent(self, pair):
+        a, _ = pair
+        a.stop()
+        a.stop()
+        assert not a.running
+
+    def test_stop_cancels_timers(self, sim, pair):
+        a, _ = pair
+        fired = []
+        a.every(1.0, lambda: fired.append(sim.now))
+        sim.run_until(2.5)
+        a.stop()
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_after_guarded_by_running(self, sim, pair):
+        a, _ = pair
+        fired = []
+        a.after(1.0, fired.append, "x")
+        a.stop()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_after_fires_while_running(self, sim, pair):
+        a, _ = pair
+        fired = []
+        a.after(1.0, fired.append, "x")
+        sim.run_until(2.0)
+        assert fired == ["x"]

@@ -1,0 +1,118 @@
+"""Unit tests for the request/response layer."""
+
+import pytest
+
+from repro.sim.process import Process
+from repro.sim.rpc import DEFERRED, RpcMixin
+
+
+class Server(Process, RpcMixin):
+    def __init__(self, sim, network, address, region):
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.serve("add", lambda p, respond, msg: {"sum": p["a"] + p["b"]})
+        self.serve("slow", self._slow)
+        self.serve("never", lambda p, respond, msg: DEFERRED)
+
+    def _slow(self, params, respond, message):
+        self.after(params["delay"], respond, {"ok": True})
+        return DEFERRED
+
+
+class Client(Process, RpcMixin):
+    def __init__(self, sim, network, address, region):
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+
+
+@pytest.fixture
+def rpc_pair(sim, network, regions):
+    server = Server(sim, network, "server", regions[0])
+    client = Client(sim, network, "client", regions[0])
+    server.start()
+    client.start()
+    return server, client
+
+
+class TestCalls:
+    def test_sync_method(self, sim, rpc_pair):
+        _, client = rpc_pair
+        results = []
+        client.call("server", "add", {"a": 2, "b": 3}, on_reply=results.append)
+        sim.run_until(1.0)
+        assert results == [{"sum": 5}]
+
+    def test_deferred_method(self, sim, rpc_pair):
+        _, client = rpc_pair
+        results = []
+        client.call("server", "slow", {"delay": 2.0}, on_reply=results.append)
+        sim.run_until(1.0)
+        assert results == []
+        sim.run_until(3.0)
+        assert results == [{"ok": True}]
+
+    def test_unknown_method_returns_error(self, sim, rpc_pair):
+        _, client = rpc_pair
+        results = []
+        client.call("server", "nope", {}, on_reply=results.append)
+        sim.run_until(1.0)
+        assert "error" in results[0]
+
+    def test_concurrent_calls_correlated(self, sim, rpc_pair):
+        _, client = rpc_pair
+        results = []
+        for i in range(5):
+            client.call(
+                "server", "add", {"a": i, "b": 0},
+                on_reply=lambda r, i=i: results.append((i, r["sum"])),
+            )
+        sim.run_until(1.0)
+        assert sorted(results) == [(i, i) for i in range(5)]
+
+
+class TestTimeouts:
+    def test_timeout_fires_when_no_reply(self, sim, rpc_pair):
+        _, client = rpc_pair
+        timeouts = []
+        client.call(
+            "server", "never", {},
+            on_reply=lambda r: pytest.fail("should not reply"),
+            on_timeout=lambda: timeouts.append(sim.now),
+            timeout=2.0,
+        )
+        sim.run_until(5.0)
+        assert timeouts == [2.0]
+
+    def test_late_reply_after_timeout_dropped(self, sim, rpc_pair):
+        _, client = rpc_pair
+        replies, timeouts = [], []
+        client.call(
+            "server", "slow", {"delay": 3.0},
+            on_reply=replies.append,
+            on_timeout=lambda: timeouts.append(True),
+            timeout=1.0,
+        )
+        sim.run_until(10.0)
+        assert timeouts == [True]
+        assert replies == []
+
+    def test_timeout_to_dead_server(self, sim, rpc_pair):
+        server, client = rpc_pair
+        server.stop()
+        timeouts = []
+        client.call(
+            "server", "add", {"a": 1, "b": 1},
+            on_reply=lambda r: pytest.fail("server is dead"),
+            on_timeout=lambda: timeouts.append(True),
+            timeout=1.0,
+        )
+        sim.run_until(2.0)
+        assert timeouts == [True]
+
+    def test_cancel_call(self, sim, rpc_pair):
+        _, client = rpc_pair
+        replies = []
+        call_id = client.call("server", "add", {"a": 1, "b": 1}, on_reply=replies.append)
+        client.cancel_call(call_id)
+        sim.run_until(1.0)
+        assert replies == []

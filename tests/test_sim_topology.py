@@ -1,0 +1,82 @@
+"""Unit tests for regions, sites and latency derivation."""
+
+import pytest
+
+from repro.sim.topology import PAPER_REGIONS, Region, Site, Topology, geo_distance_km
+
+
+class TestGeoDistance:
+    def test_zero_distance_to_self(self):
+        ohio = PAPER_REGIONS[0]
+        assert geo_distance_km(ohio, ohio) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        a, b = PAPER_REGIONS[0], PAPER_REGIONS[2]
+        assert geo_distance_km(a, b) == pytest.approx(geo_distance_km(b, a))
+
+    def test_ohio_to_oregon_plausible(self):
+        # Columbus OH to Portland OR is roughly 3,250 km great-circle.
+        d = geo_distance_km(PAPER_REGIONS[0], PAPER_REGIONS[2])
+        assert 2900 < d < 3600
+
+    def test_ohio_to_montreal_plausible(self):
+        d = geo_distance_km(PAPER_REGIONS[0], PAPER_REGIONS[1])
+        assert 500 < d < 1100
+
+
+class TestTopology:
+    def test_intra_region_latency(self):
+        topo = Topology()
+        name = PAPER_REGIONS[0].name
+        assert topo.latency(name, name) == topo.intra_region_latency
+
+    def test_cross_region_latency_exceeds_intra(self):
+        topo = Topology()
+        a, b = PAPER_REGIONS[0].name, PAPER_REGIONS[2].name
+        assert topo.latency(a, b) > topo.intra_region_latency
+
+    def test_latency_symmetric(self):
+        topo = Topology()
+        a, b = PAPER_REGIONS[1].name, PAPER_REGIONS[3].name
+        assert topo.latency(a, b) == pytest.approx(topo.latency(b, a))
+
+    def test_coast_to_coast_latency_in_tens_of_ms(self):
+        # EC2 us-east-2 <-> us-west-2 RTT is ~50-70 ms; one-way 25-35 ms.
+        topo = Topology()
+        latency = topo.latency("us-east-2", "us-west-2")
+        assert 0.015 < latency < 0.045
+
+    def test_unknown_region_rejected(self):
+        topo = Topology()
+        with pytest.raises(KeyError):
+            topo.latency("nowhere", "us-east-2")
+        with pytest.raises(KeyError):
+            topo.region("nowhere")
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(regions=[])
+
+    def test_max_distance_km(self):
+        topo = Topology()
+        names = [r.name for r in PAPER_REGIONS]
+        all_span = topo.max_distance_km(names)
+        east_span = topo.max_distance_km(["us-east-2", "ca-central-1"])
+        assert all_span > east_span > 0
+        assert topo.max_distance_km(["us-east-2"]) == 0.0
+
+    def test_make_sites(self):
+        topo = Topology()
+        sites = topo.make_sites(per_region=2)
+        assert len(sites) == 2 * len(PAPER_REGIONS)
+        assert len({s.name for s in sites}) == len(sites)
+
+
+class TestSite:
+    def test_inherited_attributes(self):
+        region = Region("r1", 0.0, 0.0)
+        site = Site("edge-1", region, attributes={"sriov": True})
+        inherited = site.inherited_attributes()
+        assert inherited["site"] == "edge-1"
+        assert inherited["region"] == "r1"
+        assert inherited["sriov"] is True

@@ -1,0 +1,123 @@
+"""Soak tests: continuous churn, then quiescence, then exactness.
+
+The system-level invariant behind every FOCUS guarantee: whatever happened —
+attribute random walks driving group moves, node crashes, node arrivals —
+once the system quiesces, queries are exact against the live nodes' actual
+state.
+"""
+
+import pytest
+
+from repro.core.query import Query, QueryTerm
+from repro.harness import build_focus_cluster, drain, run_query
+from repro.workloads import WorkloadDriver
+
+
+def expected_nodes(scenario, query):
+    return {
+        a.node_id
+        for a in scenario.agents
+        if a.running and query.matches(a.attributes())
+    }
+
+
+QUERIES = [
+    Query([QueryTerm("ram_mb", lower=4096.0, upper=8191.0)], freshness_ms=0.0),
+    Query([QueryTerm.at_most("cpu_percent", 30.0),
+           QueryTerm.at_least("disk_gb", 20.0)], freshness_ms=0.0),
+    Query([QueryTerm.at_least("vcpus", 4.0)], freshness_ms=0.0),
+]
+
+
+class TestAttributeChurn:
+    def test_exact_after_sustained_dynamics(self):
+        scenario = build_focus_cluster(48, seed=101, with_store=False)
+        drain(scenario, 15.0)
+        driver = WorkloadDriver(scenario.sim, scenario.agents, seed=1,
+                                tick_interval=1.0)
+        driver.start()
+        drain(scenario, 60.0)  # a minute of continuous group moves
+        driver.stop()
+        drain(scenario, 20.0)  # quiesce: moves complete, reports land
+        for query in QUERIES:
+            response = run_query(scenario, query)
+            assert set(response.node_ids) == expected_nodes(scenario, query)
+
+    def test_moves_actually_happened(self):
+        scenario = build_focus_cluster(24, seed=102, with_store=False)
+        drain(scenario, 15.0)
+        suggestions_before = scenario.service.metrics.counter("suggestions").value
+        driver = WorkloadDriver(scenario.sim, scenario.agents, seed=2,
+                                tick_interval=1.0)
+        driver.start()
+        drain(scenario, 45.0)
+        driver.stop()
+        moves = scenario.service.metrics.counter("suggestions").value - suggestions_before
+        assert moves > 10, "the soak produced no churn; volatility too low"
+
+
+class TestNodeChurn:
+    def test_exact_after_crashes_and_arrivals(self):
+        scenario = build_focus_cluster(32, seed=103, with_store=False)
+        drain(scenario, 15.0)
+        # Crash a third of the fleet over time.
+        for index, agent in enumerate(scenario.agents[::3]):
+            scenario.sim.schedule(index * 2.0, agent.stop)
+        # And add newcomers while that is happening.
+        from repro.core.agent import NodeAgent
+        from repro.harness.scenarios import random_dynamic_attributes
+
+        rng = scenario.sim.derive_rng("soak/arrivals")
+        newcomers = []
+        for index in range(6):
+            agent = NodeAgent(
+                scenario.sim,
+                scenario.network,
+                f"newcomer-{index}",
+                scenario.network.topology.regions[index % 4].name,
+                scenario.service.address,
+                static={"arch": "x86", "service_type": "compute",
+                        "project_id": "project-0"},
+                dynamic=random_dynamic_attributes(scenario.config, rng),
+                config=scenario.config,
+            )
+            newcomers.append(agent)
+            scenario.sim.schedule(3.0 + index * 2.5, agent.start)
+        scenario.agents.extend(newcomers)
+        drain(scenario, 90.0)  # failure detection + reports settle
+        for query in QUERIES:
+            response = run_query(scenario, query)
+            assert set(response.node_ids) == expected_nodes(scenario, query)
+
+    def test_graceful_shutdowns_clean_everywhere(self):
+        scenario = build_focus_cluster(16, seed=104, with_store=False)
+        drain(scenario, 15.0)
+        leavers = scenario.agents[:4]
+        for agent in leavers:
+            agent.shutdown()
+        drain(scenario, 30.0)
+        service = scenario.service
+        for agent in leavers:
+            assert agent.node_id not in service.registrar.nodes
+            assert not service.dgm.groups.groups_of_node(agent.node_id)
+        response = run_query(
+            scenario, Query([QueryTerm.at_least("ram_mb", 0.0)], freshness_ms=0.0)
+        )
+        assert len(response.matches) == 12
+
+
+class TestCombinedChurn:
+    def test_everything_at_once(self):
+        scenario = build_focus_cluster(40, seed=105, with_store=False)
+        drain(scenario, 15.0)
+        driver = WorkloadDriver(scenario.sim, scenario.agents, seed=3,
+                                tick_interval=1.0)
+        driver.start()
+        for index, agent in enumerate(scenario.agents[::5]):
+            scenario.sim.schedule(5.0 + index * 3.0, agent.stop)
+        drain(scenario, 50.0)
+        driver.stop()
+        drain(scenario, 30.0)
+        for query in QUERIES:
+            response = run_query(scenario, query)
+            assert set(response.node_ids) == expected_nodes(scenario, query)

@@ -1,0 +1,78 @@
+"""Unit and property tests for the consistent hash ring."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.store import ConsistentHashRing
+
+
+def ring_with(nodes):
+    ring = ConsistentHashRing()
+    for node in nodes:
+        ring.add_node(node)
+    return ring
+
+
+class TestBasics:
+    def test_empty_ring(self):
+        ring = ConsistentHashRing()
+        assert ring.nodes_for("key", 3) == []
+        with pytest.raises(ValueError):
+            ring.primary_for("key")
+
+    def test_single_node_owns_everything(self):
+        ring = ring_with(["a"])
+        for key in ("x", "y", "z"):
+            assert ring.primary_for(key) == "a"
+
+    def test_nodes_for_distinct(self):
+        ring = ring_with(["a", "b", "c", "d"])
+        replicas = ring.nodes_for("some-key", 3)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_count_capped_at_ring_size(self):
+        ring = ring_with(["a", "b"])
+        assert len(ring.nodes_for("k", 5)) == 2
+
+    def test_duplicate_add_rejected(self):
+        ring = ring_with(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            ring_with(["a"]).remove_node("b")
+
+    def test_remove_restores_consistency(self):
+        ring = ring_with(["a", "b", "c"])
+        ring.remove_node("b")
+        assert ring.nodes == ["a", "c"]
+        for key in ("k1", "k2", "k3"):
+            assert "b" not in ring.nodes_for(key, 2)
+
+
+class TestPlacementProperties:
+    @given(st.text(min_size=1, max_size=30))
+    def test_placement_deterministic(self, key):
+        r1 = ring_with(["a", "b", "c", "d"])
+        r2 = ring_with(["a", "b", "c", "d"])
+        assert r1.nodes_for(key, 3) == r2.nodes_for(key, 3)
+
+    @given(st.text(min_size=1, max_size=30))
+    def test_removal_only_moves_affected_keys(self, key):
+        """Removing a node never changes placement of keys it didn't own."""
+        before = ring_with(["a", "b", "c", "d"])
+        primary = before.primary_for(key)
+        victim = next(n for n in ("a", "b", "c", "d") if n != primary)
+        after = ring_with(["a", "b", "c", "d"])
+        after.remove_node(victim)
+        assert after.primary_for(key) == primary
+
+    def test_distribution_roughly_balanced(self):
+        ring = ring_with([f"n{i}" for i in range(4)])
+        counts = {f"n{i}": 0 for i in range(4)}
+        for i in range(4000):
+            counts[ring.primary_for(f"key-{i}")] += 1
+        for count in counts.values():
+            assert 400 < count < 2200  # no pathological imbalance

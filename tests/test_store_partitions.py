@@ -1,0 +1,99 @@
+"""Store behaviour across network partitions: quorum masks, repair heals."""
+
+import pytest
+
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+from repro.store import StoreCluster
+
+
+class Host(Process, RpcMixin):
+    """Test host issuing quorum operations."""
+
+    def __init__(self, sim, network, region):
+        Process.__init__(self, sim, network, "host", region)
+        self.init_rpc()
+
+
+@pytest.fixture
+def setup(sim, network, regions):
+    cluster = StoreCluster(sim, network, num_replicas=3)
+    host = Host(sim, network, regions[0])
+    host.start()
+    client = cluster.client_for(host)
+    return cluster, host, client
+
+
+def put(sim, client, key, value):
+    done = []
+    client.put("t", key, {"v": value}, on_done=lambda: done.append(True),
+               on_error=done.append)
+    sim.run_until(sim.now + 4.0)
+    assert done == [True], done
+
+
+def get(sim, client, key):
+    box = []
+    client.get("t", key, box.append, on_error=box.append)
+    sim.run_until(sim.now + 4.0)
+    assert len(box) == 1
+    return box[0]
+
+
+class TestPartitionedWrites:
+    def test_write_succeeds_with_one_replica_partitioned(self, sim, network, setup):
+        cluster, host, client = setup
+        isolated = cluster.replicas[1]
+        network.block(host.address, isolated.address)
+        put(sim, client, "k", 1)
+        row = get(sim, client, "k")
+        assert row.value == {"v": 1}
+
+    def test_partitioned_replica_misses_the_write(self, sim, network, setup):
+        cluster, host, client = setup
+        isolated = cluster.replicas[1]
+        network.block(host.address, isolated.address)
+        put(sim, client, "k", 1)
+        table = isolated.tables.get("t")
+        assert table is None or table.get("k") is None
+
+    def test_read_repair_after_heal(self, sim, network, setup):
+        cluster, host, client = setup
+        isolated = cluster.replicas[1]
+        network.block(host.address, isolated.address)
+        put(sim, client, "k", 1)
+        network.unblock(host.address, isolated.address)
+        # A read reconciles (quorum returns the value) and repairs the
+        # stale replica in the background.
+        row = get(sim, client, "k")
+        assert row.value == {"v": 1}
+        sim.run_until(sim.now + 3.0)
+        local = isolated.tables["t"].get("k")
+        assert local is not None and local.value == {"v": 1}
+
+    def test_newest_wins_across_partition(self, sim, network, setup):
+        """Write v1 everywhere; partition; write v2 to the majority; heal;
+        reads must return v2 regardless of which replicas answer first."""
+        cluster, host, client = setup
+        put(sim, client, "k", 1)
+        isolated = cluster.replicas[2]
+        network.block(host.address, isolated.address)
+        put(sim, client, "k", 2)
+        network.unblock(host.address, isolated.address)
+        for _ in range(3):
+            assert get(sim, client, "k").value == {"v": 2}
+
+
+class TestScanAfterHeal:
+    def test_scan_merges_diverged_replicas(self, sim, network, setup):
+        cluster, host, client = setup
+        isolated = cluster.replicas[0]
+        network.block(host.address, isolated.address)
+        for index in range(6):
+            put(sim, client, f"k{index}", index)
+        network.unblock(host.address, isolated.address)
+        rows = []
+        client.scan("t", rows.extend)
+        sim.run_until(sim.now + 4.0)
+        assert len(rows) == 6
+        assert {r.value["v"] for r in rows} == set(range(6))

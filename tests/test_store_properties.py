@@ -1,0 +1,89 @@
+"""Property-based tests for the store's convergence guarantees."""
+
+from hypothesis import given, strategies as st
+
+from repro.store.hashring import ConsistentHashRing
+from repro.store.table import Table
+
+keys = st.sampled_from(["k1", "k2", "k3"])
+timestamps = st.floats(min_value=0.0, max_value=100.0)
+ops = st.lists(
+    st.tuples(keys, st.integers(0, 99), timestamps), min_size=1, max_size=40
+)
+
+
+class TestLastWriteWinsConvergence:
+    @given(ops)
+    def test_order_independent(self, operations):
+        """Applying the same writes in any order converges to the same
+        table state — the property quorum replication relies on."""
+        forward = Table("t")
+        backward = Table("t")
+        for key, value, ts in operations:
+            forward.put(key, {"v": value}, ts)
+        for key, value, ts in reversed(operations):
+            backward.put(key, {"v": value}, ts)
+        for key in ("k1", "k2", "k3"):
+            a, b = forward.get(key), backward.get(key)
+            if a is None or b is None:
+                assert a is b is None
+                continue
+            assert a.timestamp == b.timestamp
+            # At equal timestamps ties may differ in value; with distinct
+            # timestamps the value must agree.
+            distinct = len({ts for k, _, ts in operations if k == key}) == len(
+                [ts for k, _, ts in operations if k == key]
+            )
+            if distinct:
+                assert a.value == b.value
+
+    @given(ops, ops)
+    def test_merge_is_commutative(self, left_ops, right_ops):
+        """Merging replica A into B equals merging B into A."""
+
+        def build(operations):
+            table = Table("t")
+            for key, value, ts in operations:
+                table.put(key, {"v": value}, ts)
+            return table
+
+        def merge(target, source):
+            for row in source.scan():
+                target.put(row.key, row.value, row.timestamp)
+
+        ab = build(left_ops)
+        merge(ab, build(right_ops))
+        ba = build(right_ops)
+        merge(ba, build(left_ops))
+        for key in ("k1", "k2", "k3"):
+            a, b = ab.get(key), ba.get(key)
+            if a is None or b is None:
+                assert a is b is None
+            else:
+                assert a.timestamp == b.timestamp
+
+
+class TestRingProperties:
+    @given(st.text(min_size=1, max_size=24))
+    def test_replica_sets_shrink_gracefully(self, key):
+        """Removing one node leaves the other replicas of a key in place."""
+        ring = ConsistentHashRing()
+        for node in ("a", "b", "c", "d", "e"):
+            ring.add_node(node)
+        replicas_before = ring.nodes_for(key, 3)
+        victim = replicas_before[0]
+        ring.remove_node(victim)
+        replicas_after = ring.nodes_for(key, 3)
+        # The surviving members of the old replica set are still replicas.
+        for node in replicas_before[1:]:
+            assert node in replicas_after
+        assert victim not in replicas_after
+        assert len(replicas_after) == 3
+
+    @given(st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=6,
+                    unique=True))
+    def test_every_key_placed_when_nonempty(self, nodes):
+        ring = ConsistentHashRing()
+        for node in nodes:
+            ring.add_node(node)
+        assert ring.primary_for("anything") in nodes

@@ -1,0 +1,188 @@
+"""Tests for populations, dynamics, query generators and the trace."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.attributes import openstack_schema
+from repro.core.query import Query
+from repro.sim import Simulator
+from repro.workloads import (
+    ChameleonTraceGenerator,
+    QueryWorkload,
+    WorkloadDriver,
+    node_spec_factory,
+    placement_query,
+)
+from repro.workloads.chameleon import PAPER_ACCELERATION
+from repro.workloads.dynamics import AttributeDynamics, default_dynamics
+from repro.workloads.querygen import grouped_placement_query
+
+
+class TestPopulation:
+    def test_deterministic_per_seed(self):
+        f1 = node_spec_factory(seed=1)
+        f2 = node_spec_factory(seed=1)
+        assert f1(5, "us-east-2") == f2(5, "us-east-2")
+
+    def test_seed_changes_population(self):
+        f1 = node_spec_factory(seed=1)
+        f2 = node_spec_factory(seed=2)
+        assert f1(5, "us-east-2")["dynamic"] != f2(5, "us-east-2")["dynamic"]
+
+    def test_values_within_schema_ranges(self):
+        schema = openstack_schema()
+        factory = node_spec_factory(seed=3, schema=schema)
+        for i in range(50):
+            spec = factory(i, "us-east-2")
+            for name, value in spec["dynamic"].items():
+                attr = schema.get(name)
+                assert attr.min_value <= value <= attr.max_value
+
+    def test_vcpus_integral(self):
+        factory = node_spec_factory(seed=4)
+        for i in range(20):
+            assert factory(i, "r")["dynamic"]["vcpus"] == int(
+                factory(i, "r")["dynamic"]["vcpus"]
+            )
+
+
+class TestDynamics:
+    @given(st.floats(min_value=0, max_value=100), st.integers(0, 1000))
+    def test_step_stays_in_bounds(self, value, seed):
+        dynamics = AttributeDynamics("x", volatility=0.2, min_value=0, max_value=100)
+        rng = random.Random(seed)
+        for _ in range(20):
+            value = dynamics.step(value, rng)
+            assert 0 <= value <= 100
+
+    def test_driver_changes_values(self):
+        class FakeNode:
+            running = True
+
+            def __init__(self):
+                self.dynamic = {"cpu_percent": 50.0}
+
+            def set_attribute(self, name, value):
+                self.dynamic[name] = value
+
+        sim = Simulator(seed=1)
+        nodes = [FakeNode() for _ in range(5)]
+        driver = WorkloadDriver(sim, nodes, dynamics=default_dynamics(), seed=1)
+        driver.start()
+        sim.run_until(10.0)
+        assert driver.ticks == 10
+        assert any(n.dynamic["cpu_percent"] != 50.0 for n in nodes)
+
+    def test_driver_skips_stopped_nodes(self):
+        class DeadNode:
+            running = False
+            dynamic = {"cpu_percent": 50.0}
+
+            def set_attribute(self, name, value):
+                raise AssertionError("must not touch stopped nodes")
+
+        sim = Simulator(seed=1)
+        driver = WorkloadDriver(sim, [DeadNode()], seed=1)
+        driver.start()
+        sim.run_until(5.0)
+
+    def test_double_start_rejected(self):
+        sim = Simulator(seed=1)
+        driver = WorkloadDriver(sim, [], seed=1)
+        driver.start()
+        with pytest.raises(RuntimeError):
+            driver.start()
+
+    def test_stop(self):
+        sim = Simulator(seed=1)
+        driver = WorkloadDriver(sim, [], seed=1)
+        driver.start()
+        sim.run_until(3.0)
+        driver.stop()
+        sim.run_until(10.0)
+        assert driver.ticks == 3
+
+
+class TestQueryGenerators:
+    def test_placement_query_valid(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            query = placement_query(rng)
+            assert query.term("ram_mb").lower >= 512
+            assert query.limit == 10
+
+    def test_grouped_placement_single_family(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            query = grouped_placement_query(rng)
+            ram = query.term("ram_mb")
+            assert ram.upper - ram.lower < 2048.0
+
+    def test_workload_mix_deterministic(self):
+        a = QueryWorkload(seed=5).batch(20)
+        b = QueryWorkload(seed=5).batch(20)
+        assert [q.to_json() for q in a] == [q.to_json() for q in b]
+
+    def test_workload_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(weights={"bogus": 1.0})
+
+    def test_workload_covers_categories(self):
+        workload = QueryWorkload(
+            seed=6,
+            weights={"placement": 0.25, "service_status": 0.25,
+                     "tenant_report": 0.25, "hot_spot": 0.25},
+        )
+        names = set()
+        for query in workload.batch(100):
+            names.update(t.name for t in query.terms)
+        assert "ram_mb" in names
+        assert "service_type" in names
+        assert "project_id" in names
+        assert "cpu_percent" in names
+
+
+class TestChameleonTrace:
+    def test_deterministic(self):
+        a = ChameleonTraceGenerator(seed=1).generate(100)
+        b = ChameleonTraceGenerator(seed=1).generate(100)
+        assert a == b
+
+    def test_events_time_ordered(self):
+        events = ChameleonTraceGenerator(seed=2).generate(500)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_mean_rate_matches_paper(self):
+        """75K events / 10 months at 15,000x is ~40+ queries/second (§X-C)."""
+        generator = ChameleonTraceGenerator(seed=3)
+        assert 35 <= generator.mean_rate() <= 50
+
+    def test_empirical_rate_near_nominal(self):
+        generator = ChameleonTraceGenerator(seed=4)
+        events = generator.generate(3000)
+        span = events[-1].time - events[0].time
+        empirical = len(events) / span * PAPER_ACCELERATION
+        assert 0.4 * generator.mean_rate() < empirical < 3.0 * generator.mean_rate()
+
+    def test_to_query(self):
+        event = ChameleonTraceGenerator(seed=5).generate(1)[0]
+        query = event.to_query(limit=7)
+        assert isinstance(query, Query)
+        assert query.limit == 7
+        assert query.term("ram_mb").lower == event.ram_mb
+
+    def test_accelerated_queries(self):
+        pairs = ChameleonTraceGenerator(seed=6).accelerated_queries(50)
+        times = [t for t, _ in pairs]
+        assert times == sorted(times)
+        assert times[-1] < 60  # 50 events arrive within a minute accelerated
+
+    def test_demands_from_flavor_set(self):
+        from repro.workloads.querygen import FLAVORS
+
+        events = ChameleonTraceGenerator(seed=7).generate(200)
+        flavors = set(FLAVORS)
+        assert all((e.ram_mb, e.disk_gb, e.vcpus) in flavors for e in events)
