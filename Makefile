@@ -1,0 +1,23 @@
+# Developer entry points. `make check` is what CI runs: the tier-1 suite
+# plus a smoke pass of the kernel microbenchmarks (which also re-verifies
+# the >=2x hot-path speedups and the seeded-run determinism checksum).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: check test bench-kernel bench-kernel-smoke bench
+
+check: test bench-kernel-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-kernel-smoke:
+	$(PYTHON) benchmarks/bench_kernel.py --quick
+
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel.py
+
+# Full paper-figure regeneration (~10 minutes); see benchmarks/README.md.
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,374 @@
+"""Microbenchmarks for the simulation kernel's hot paths.
+
+Unlike the ``bench_fig*`` files (which regenerate the paper's figures), this
+harness measures the kernel itself: the event loop, the network send path,
+and the metrics window queries that every figure's measurement code leans
+on. For each optimized path it also times a **naive reference** — a faithful
+copy of the pre-optimization implementation (linear scans, per-recipient
+``approx_size``, re-sorting histograms) — so the speedup stays visible and
+regressions are measurable long after the old code is gone.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full, ~1 min
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick    # smoke, ~10 s
+
+Results (ops/sec before/after plus a determinism checksum) are written to
+``BENCH_kernel.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.gossip.swim import SwimAgent, SwimConfig
+from repro.sim import Network, Simulator, Topology
+from repro.sim.metrics import BandwidthMeter, Histogram, TimeSeries
+from repro.sim.network import SizedPayload
+
+
+# --------------------------------------------------------------------- timing
+def measure(fn: Callable[[], int], min_seconds: float = 0.4) -> float:
+    """Call ``fn`` (which returns an op count) until ``min_seconds`` elapse;
+    return ops/sec."""
+    ops = 0
+    start = time.perf_counter()
+    while True:
+        ops += fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            return ops / elapsed
+
+
+# ------------------------------------------------- naive reference (pre-PR)
+def naive_bytes_in_window(
+    event_lists: List[List[Tuple[float, int]]], start: float, end: float
+) -> int:
+    """The pre-optimization BandwidthMeter.bytes_in_window: full scan."""
+    total = 0
+    for events in event_lists:
+        for t, size in events:
+            if start <= t <= end:
+                total += size
+    return total
+
+
+def naive_mean_over(
+    samples: List[Tuple[float, float]], start: float, end: float
+) -> float:
+    """The pre-optimization TimeSeries.mean_over: filter then average."""
+    window = [(t, v) for t, v in samples if start <= t <= end]
+    if not window:
+        return float("nan")
+    return sum(v for _, v in window) / len(window)
+
+
+class NaiveHistogram:
+    """The pre-optimization exact histogram: re-sort after every observe."""
+
+    def __init__(self) -> None:
+        self.values: List[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+        self._sorted = False
+
+    def percentile(self, p: float) -> float:
+        if not self._sorted:
+            self.values.sort()
+            self._sorted = True
+        rank = int((p / 100) * (len(self.values) - 1))
+        return self.values[rank]
+
+
+# ----------------------------------------------------------------- workloads
+def bench_metrics_windows(quick: bool) -> Dict[str, object]:
+    num_events = 20_000 if quick else 200_000
+    meter = BandwidthMeter("bench")
+    for i in range(num_events):
+        t = i * 0.001
+        meter.on_send(t, 100 + i % 400)
+        meter.on_receive(t, 60)
+    event_lists = [meter.sent_events(), meter.received_events()]
+    horizon = num_events * 0.001
+    queries = [
+        ((i * 37) % 1000 / 1000 * horizon * 0.5, horizon * (0.5 + (i % 50) / 100))
+        for i in range(1000)
+    ]
+
+    def run_naive() -> int:
+        for start, end in queries[:20]:
+            naive_bytes_in_window(event_lists, start, end)
+        return 20
+
+    def run_optimized() -> int:
+        for start, end in queries:
+            meter.bytes_in_window(start, end)
+        return len(queries)
+
+    # Sanity: both must agree before either is worth timing.
+    for start, end in queries[:5]:
+        assert meter.bytes_in_window(start, end) == naive_bytes_in_window(
+            event_lists, start, end
+        )
+    naive = measure(run_naive)
+    optimized = measure(run_optimized)
+    return {
+        "events": num_events * 2,
+        "naive_ops_per_sec": naive,
+        "optimized_ops_per_sec": optimized,
+        "speedup": optimized / naive,
+    }
+
+
+def bench_timeseries(quick: bool) -> Dict[str, object]:
+    num_samples = 20_000 if quick else 200_000
+    ts = TimeSeries("bench")
+    for i in range(num_samples):
+        ts.record(i * 0.01, float(i % 97))
+    horizon = num_samples * 0.01
+    queries = [
+        (horizon * (i % 40) / 100, horizon * (0.4 + (i % 60) / 100))
+        for i in range(1000)
+    ]
+
+    def run_naive() -> int:
+        for start, end in queries[:20]:
+            naive_mean_over(ts.samples, start, end)
+        return 20
+
+    def run_optimized() -> int:
+        for start, end in queries:
+            ts.mean_over(start, end)
+        return len(queries)
+
+    naive = measure(run_naive)
+    optimized = measure(run_optimized)
+    return {
+        "samples": num_samples,
+        "naive_ops_per_sec": naive,
+        "optimized_ops_per_sec": optimized,
+        "speedup": optimized / naive,
+    }
+
+
+def bench_histogram_interleaved(quick: bool) -> Dict[str, object]:
+    """Interleaved observe/percentile loop: naive re-sort vs streaming mode.
+
+    The preload happens outside the timed region; what is measured is the
+    steady-state cost of one observe followed by one percentile read, which
+    for the naive histogram means re-sorting the whole value list each time.
+    """
+    preload = 10_000 if quick else 50_000
+    rounds = 500 if quick else 1_000
+    values = [float((i * 7919) % 10_000) for i in range(preload)]
+
+    naive_h = NaiveHistogram()
+    stream_h = Histogram("bench", streaming=True)
+    for v in values:
+        naive_h.observe(v)
+        stream_h.observe(v)
+
+    def run_naive() -> int:
+        for i in range(rounds):
+            naive_h.observe(values[i % preload])
+            naive_h.percentile(99)
+        return rounds
+
+    def run_streaming() -> int:
+        for i in range(rounds):
+            stream_h.observe(values[i % preload])
+            stream_h.percentile(99)
+        return rounds
+
+    naive = measure(run_naive)
+    optimized = measure(run_streaming)
+    return {
+        "preloaded": preload,
+        "naive_ops_per_sec": naive,
+        "optimized_ops_per_sec": optimized,
+        "speedup": optimized / naive,
+    }
+
+
+def bench_send_fanout(quick: bool) -> Dict[str, object]:
+    """Same payload to many recipients: per-recipient sizing vs SizedPayload."""
+    fanout = 64
+    rounds = 30 if quick else 150
+    payload = {
+        "u": [
+            {"t": "m", "n": f"node-{i:05d}", "a": f"addr-{i:05d}",
+             "r": "us-east-2", "i": i, "s": "alive"}
+            for i in range(16)
+        ]
+    }
+
+    class Sink:
+        region = "us-east-2"
+
+        def __init__(self, address: str) -> None:
+            self.address = address
+
+        def handle_message(self, message) -> None:
+            pass
+
+    def build() -> Tuple[Simulator, Network]:
+        sim = Simulator(seed=1)
+        network = Network(sim, Topology(), jitter_fraction=0.0)
+        for i in range(fanout + 1):
+            network.register(Sink(f"s{i}"))
+        return sim, network
+
+    def run_per_recipient_sizing() -> int:
+        sim, network = build()
+        for _ in range(rounds):
+            for i in range(1, fanout + 1):
+                network.send("s0", f"s{i}", "gossip", payload)
+        sim.run_until(10.0)
+        return rounds * fanout
+
+    def run_memoized_sizing() -> int:
+        sim, network = build()
+        for _ in range(rounds):
+            packet = SizedPayload(payload)
+            for i in range(1, fanout + 1):
+                network.send("s0", f"s{i}", "gossip", packet)
+        sim.run_until(10.0)
+        return rounds * fanout
+
+    naive = measure(run_per_recipient_sizing)
+    optimized = measure(run_memoized_sizing)
+    return {
+        "fanout": fanout,
+        "naive_ops_per_sec": naive,
+        "optimized_ops_per_sec": optimized,
+        "speedup": optimized / naive,
+    }
+
+
+def bench_event_loop(quick: bool) -> Dict[str, object]:
+    """Raw schedule + dispatch throughput of the event loop (no before/after:
+    the pre-PR queue cannot be reconstructed, so this records the trajectory)."""
+    num_events = 50_000 if quick else 200_000
+
+    def run() -> int:
+        sim = Simulator(seed=3)
+        sink = []
+
+        def on_fire(i: int) -> None:
+            if i % 16 == 0:
+                sink.append(i)
+
+        for i in range(num_events):
+            sim.schedule((i % 1000) * 0.001, on_fire, i)
+        sim.run_until(2.0)
+        return num_events
+
+    return {"events": num_events, "ops_per_sec": measure(run)}
+
+
+def determinism_checksum() -> str:
+    """Checksum of a seeded SWIM run's metrics; must be stable run to run."""
+    sim = Simulator(seed=99)
+    topology = Topology()
+    network = Network(sim, topology)
+    regions = [r.name for r in topology.regions]
+    agents = []
+    for i in range(6):
+        agent = SwimAgent(
+            sim, network, f"n{i}", f"a{i}", regions[i % len(regions)],
+            SwimConfig(sync_interval=5.0),
+        )
+        agent.start()
+        agents.append(agent)
+    for agent in agents[1:]:
+        agent.join(["a0"])
+    sim.run_until(15.0)
+    summary = {
+        "events": sim.events_processed,
+        "counters": {
+            name: network.metrics.counter(name).value
+            for name in network.metrics.names()["counters"]
+        },
+        "meters": {
+            f"a{i}": network.meter(f"a{i}").bytes_in_window(0.0, 15.0)
+            for i in range(6)
+        },
+    }
+    blob = json.dumps(summary, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+BENCHES = {
+    "metrics_window_queries": bench_metrics_windows,
+    "timeseries_mean_over": bench_timeseries,
+    "histogram_interleaved": bench_histogram_interleaved,
+    "send_repeated_payload": bench_send_fanout,
+    "event_loop": bench_event_loop,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller sizes, for CI smoke runs")
+    parser.add_argument("--out", default="BENCH_kernel.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--only", choices=sorted(BENCHES),
+                        help="run a single benchmark")
+    args = parser.parse_args(argv)
+
+    results: Dict[str, object] = {}
+    names = [args.only] if args.only else list(BENCHES)
+    for name in names:
+        result = BENCHES[name](args.quick)
+        results[name] = result
+        if "speedup" in result:
+            print(f"{name:26s} {result['naive_ops_per_sec']:>12.0f} -> "
+                  f"{result['optimized_ops_per_sec']:>12.0f} ops/s "
+                  f"({result['speedup']:.1f}x)")
+        else:
+            print(f"{name:26s} {result['ops_per_sec']:>12.0f} ops/s")
+
+    checksum_a = determinism_checksum()
+    checksum_b = determinism_checksum()
+    deterministic = checksum_a == checksum_b
+    print(f"determinism checksum       {checksum_a[:16]}… "
+          f"({'stable' if deterministic else 'UNSTABLE'})")
+
+    report = {
+        "benchmark": "kernel hot paths",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": results,
+        "determinism": {"checksum": checksum_a, "stable": deterministic},
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    failures = [
+        name
+        for name in ("metrics_window_queries", "send_repeated_payload")
+        if name in results and results[name]["speedup"] < 2.0
+    ]
+    if failures:
+        print(f"FAIL: speedup < 2x on: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    if not deterministic:
+        print("FAIL: seeded run is not deterministic", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

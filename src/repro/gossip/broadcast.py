@@ -17,7 +17,7 @@ import math
 import operator
 from typing import Dict, List, Optional, Tuple
 
-from repro.sim.network import approx_size
+from repro.sim.network import SizedPayload, approx_size
 
 
 class Broadcast:
@@ -80,6 +80,12 @@ class BroadcastQueue:
             if transmits is not None
             else retransmit_limit(self.retransmit_mult, group_size)
         )
+        if isinstance(payload, SizedPayload):
+            # A caller that already sized the payload (e.g. for a direct
+            # send) shares that measurement with the retransmission queue.
+            if size is None:
+                size = payload.size
+            payload = payload.payload
         if size is None:
             size = approx_size(payload)
         self._queue[key] = Broadcast(key, payload, max(limit, 1), size)

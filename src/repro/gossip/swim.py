@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.sim.loop import Simulator
-from repro.sim.network import Message, Network
+from repro.sim.network import Message, Network, SizedPayload
 from repro.sim.process import Process
 from repro.gossip.broadcast import BroadcastQueue
 from repro.gossip.member import RANK_BY_VALUE, Member, MemberList, MemberState
@@ -200,11 +200,13 @@ class SwimAgent(Process):
             fanout = min(self.config.gossip_fanout, len(peers))
             targets = self._rng.sample(peers, fanout)
             # One take() per tick: every selected peer receives the same
-            # payload batch, matching memberlist's gossip behaviour.
+            # payload batch, matching memberlist's gossip behaviour. Sizing
+            # happens once for the batch, not once per recipient.
             updates, size = self.broadcasts.take_with_size(self.config.piggyback_max)
             if updates:
+                packet = SizedPayload({"u": updates}, size + 8)
                 for target in targets:
-                    self.send(target.address, GOSSIP, {"u": updates}, size=size + 8)
+                    self.send(target.address, GOSSIP, packet)
         if not self.broadcasts.empty:
             self._ensure_gossip_scheduled()
 

@@ -15,7 +15,7 @@ from repro.sim.metrics import (
     MetricsRegistry,
     TimeSeries,
 )
-from repro.sim.network import Endpoint, Message, Network, approx_size
+from repro.sim.network import Endpoint, Message, Network, SizedPayload, approx_size
 from repro.sim.process import PeriodicTask, Process
 from repro.sim.rpc import DEFERRED, RpcMixin
 from repro.sim.topology import (
@@ -45,6 +45,7 @@ __all__ = [
     "RpcMixin",
     "Simulator",
     "Site",
+    "SizedPayload",
     "TimeSeries",
     "TimerHandle",
     "Topology",

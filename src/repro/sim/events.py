@@ -69,34 +69,60 @@ class TimerHandle:
 
 
 class EventQueue:
-    """A heap of :class:`Event` objects with lazy cancellation."""
+    """A heap of scheduled events with lazy cancellation.
+
+    Heap entries are ``(time, seq, event)`` tuples rather than the events
+    themselves: every sift comparison is then a C-level tuple comparison
+    instead of a Python ``__lt__`` call that builds two tuples, which is a
+    measurable win on the push/pop hot path. Ordering is identical —
+    ``(time, seq)`` with ``seq`` a monotone tie-breaker.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
 
     def __len__(self) -> int:
         return len(self._heap)
 
     def push(self, time: float, callback: Callable[..., Any], args: tuple) -> Event:
-        event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
+            if not event.cancelled:
+                return event
+        return None
+
+    def pop_before(self, bound: float) -> Optional[Event]:
+        """Pop the next live event with ``time <= bound``, else ``None``.
+
+        One heap inspection plus at most one pop per live event, which lets
+        :meth:`Simulator.run_until` avoid a separate peek-then-pop pair per
+        event.
+        """
+        heap = self._heap
+        while heap:
+            if heap[0][0] > bound:
+                return None
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if heap:
+            return heap[0][0]
         return None
 
     def clear(self) -> None:

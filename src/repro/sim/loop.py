@@ -110,11 +110,16 @@ class Simulator:
             raise SimulationError(
                 f"cannot run backwards to t={time:.6f} (now={self._now:.6f})"
             )
+        # Hot loop: one bounded pop per event instead of peek + pop, with the
+        # bound check done against the heap head inside the queue.
+        pop_before = self._queue.pop_before
         while True:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > time:
+            event = pop_before(time)
+            if event is None:
                 break
-            self.step()
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
         self._now = time
 
     def run(self, max_events: Optional[int] = None) -> int:

@@ -22,6 +22,26 @@ from repro.sim.topology import Topology
 MESSAGE_OVERHEAD_BYTES = 60
 
 
+class SizedPayload:
+    """A payload bundled with its precomputed wire-size estimate.
+
+    Fanout paths (gossip rebroadcast, piggyback batches, broker fanout) send
+    one payload to many recipients; wrapping it once means the recursive
+    :func:`approx_size` walk runs once per unique message instead of once per
+    recipient. :meth:`Network.send` unwraps the wrapper before delivery, so
+    message handlers always see the raw payload.
+    """
+
+    __slots__ = ("payload", "size")
+
+    def __init__(self, payload: object, size: Optional[int] = None) -> None:
+        self.payload = payload
+        self.size = approx_size(payload) if size is None else size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<SizedPayload {self.size}B {self.payload!r}>"
+
+
 def approx_size(payload: object) -> int:
     """Approximate the JSON-encoded size of ``payload`` in bytes.
 
@@ -29,6 +49,8 @@ def approx_size(payload: object) -> int:
     simulator sends millions); the estimate matches ``len(json.dumps(...))``
     within a few percent for the dict/list/str/number payloads used here.
     """
+    if isinstance(payload, SizedPayload):
+        return payload.size
     if payload is None:
         return 4
     if payload is True or payload is False:
@@ -116,6 +138,9 @@ class Network:
         self.record_bandwidth_events = record_bandwidth_events
         self.metrics = MetricsRegistry()
         self._endpoints: Dict[str, Endpoint] = {}
+        #: Last known region per address; kept after unregister so messages
+        #: racing a death still pay the dead node's real latency.
+        self._last_region: Dict[str, str] = {}
         self._meters: Dict[str, BandwidthMeter] = {}
         self._blocked: Set[FrozenSet[str]] = set()
         self._blocked_regions: Set[FrozenSet[str]] = set()
@@ -132,6 +157,7 @@ class Network:
                 f"{endpoint.region!r}"
             )
         self._endpoints[endpoint.address] = endpoint
+        self._last_region[endpoint.address] = endpoint.region
 
     def unregister(self, address: str) -> None:
         self._endpoints.pop(address, None)
@@ -188,12 +214,20 @@ class Network:
         """Send a message; delivery is scheduled, never synchronous.
 
         Unknown destinations and blocked/partitioned pairs silently drop the
-        message (that is what the real network does); the loss is counted in
-        ``metrics.counter("messages_dropped")``.
+        message (that is what the real network does); every loss is counted
+        exactly once in ``metrics.counter("messages_dropped")``, with a
+        per-reason counter under ``messages_dropped.<reason>``.
+
+        ``payload`` may be a :class:`SizedPayload`, in which case its
+        memoized size is used and the wrapped payload is what gets delivered.
         """
         sender = self._endpoints.get(src)
         if sender is None:
             raise NetworkError(f"send from unregistered endpoint {src!r}")
+        if isinstance(payload, SizedPayload):
+            if size is None:
+                size = payload.size
+            payload = payload.payload
         wire_size = (size if size is not None else approx_size(payload)) + MESSAGE_OVERHEAD_BYTES
         now = self.sim.now
         self.meter(src).on_send(now, wire_size)
@@ -201,27 +235,41 @@ class Network:
         self.metrics.counter("bytes_sent").inc(wire_size)
 
         message = Message(kind, payload, src, dst, wire_size, now)
-        if self._should_drop(message, sender):
-            self.metrics.counter("messages_dropped").inc()
+        drop_reason = self._drop_reason(message, sender)
+        if drop_reason is not None:
+            self._count_drop(drop_reason)
             return
         latency = self._latency(sender, dst)
         self.sim.schedule(latency, self._deliver, message)
 
-    def _should_drop(self, message: Message, sender: Endpoint) -> bool:
+    def _drop_reason(self, message: Message, sender: Endpoint) -> Optional[str]:
         if frozenset((message.src, message.dst)) in self._blocked:
-            return True
+            return "blocked"
         receiver = self._endpoints.get(message.dst)
         if receiver is not None:
             pair = frozenset((sender.region, receiver.region))
             if pair in self._blocked_regions:
-                return True
+                return "partitioned"
+        elif message.dst not in self._last_region:
+            # Never-registered destination: there is no region to route
+            # toward, so drop at send time instead of inventing a latency.
+            return "unknown_destination"
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
-            return True
-        return False
+            return "loss"
+        return None
+
+    def _count_drop(self, reason: str) -> None:
+        self.metrics.counter("messages_dropped").inc()
+        self.metrics.counter(f"messages_dropped.{reason}").inc()
 
     def _latency(self, sender: Endpoint, dst: str) -> float:
         receiver = self._endpoints.get(dst)
-        dst_region = receiver.region if receiver is not None else sender.region
+        if receiver is not None:
+            dst_region = receiver.region
+        else:
+            # Recently-dead endpoint: route toward where it actually lived,
+            # not toward the sender's own region.
+            dst_region = self._last_region.get(dst, sender.region)
         base = self.topology.latency(sender.region, dst_region)
         if self.jitter_fraction > 0:
             return base * (1.0 + self._rng.random() * self.jitter_fraction)
@@ -230,8 +278,8 @@ class Network:
     def _deliver(self, message: Message) -> None:
         receiver = self._endpoints.get(message.dst)
         if receiver is None:
-            # Endpoint died or was never there; the message is lost.
-            self.metrics.counter("messages_dropped").inc()
+            # Endpoint died while the message was in flight.
+            self._count_drop("dead_endpoint")
             return
         self.meter(message.dst).on_receive(self.sim.now, message.size)
         self.metrics.counter("messages_delivered").inc()

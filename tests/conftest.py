@@ -1,10 +1,27 @@
-"""Shared fixtures: a simulator, a network, and helpers to build agents."""
+"""Shared fixtures: a simulator, a network, and helpers to build agents.
+
+Also pins the Hypothesis profile: deadlines are explicit (and disabled in
+CI, where machine load made them flaky) and CI runs derandomized, so a
+loaded runner can never turn a perf-sensitive property test red.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.sim import Network, Simulator, Topology
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=1000)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 
 @pytest.fixture

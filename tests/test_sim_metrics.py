@@ -2,8 +2,11 @@
 
 import math
 
+# Module scope: paying numpy's first-import cost inside a Hypothesis example
+# blows the deadline on loaded machines.
+import numpy
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.sim.metrics import (
     BandwidthMeter,
@@ -40,6 +43,18 @@ class TestGauge:
         g.add(3.0)
         g.add(-1.0)
         assert g.value == 2.0
+
+    def test_peak_of_negative_only_gauge(self):
+        # Regression: peak used to start at 0.0, so a gauge that only ever
+        # held negative values reported a peak that was never set.
+        g = Gauge("g")
+        g.set(-5.0)
+        g.set(-2.0)
+        g.set(-9.0)
+        assert g.peak == -2.0
+
+    def test_peak_unset_is_nan(self):
+        assert math.isnan(Gauge("g").peak)
 
 
 class TestHistogram:
@@ -92,10 +107,9 @@ class TestHistogram:
         assert p75 <= p99 + tolerance
         assert p99 <= max(values) + tolerance
 
+    @settings(deadline=1000)
     @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100))
     def test_percentile_matches_numpy(self, values):
-        import numpy
-
         h = Histogram("h")
         for v in values:
             h.observe(v)
@@ -103,6 +117,66 @@ class TestHistogram:
             assert h.percentile(p) == pytest.approx(
                 float(numpy.percentile(values, p)), rel=1e-6, abs=1e-6
             )
+
+
+class TestStreamingHistogram:
+    def test_empty_stats_are_nan(self):
+        h = Histogram("h", streaming=True)
+        assert math.isnan(h.mean())
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.min())
+        assert math.isnan(h.max())
+
+    def test_exact_count_total_min_max(self):
+        h = Histogram("h", streaming=True)
+        for v in (3.0, -1.0, 10.0, 0.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(12.0)
+        assert h.mean() == pytest.approx(3.0)
+        assert h.min() == -1.0
+        assert h.max() == 10.0
+
+    def test_extremes_exact(self):
+        h = Histogram("h", streaming=True)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+
+    def test_percentile_within_relative_error(self):
+        h = Histogram("h", streaming=True)
+        values = [1.5 ** i for i in range(40)]
+        for v in values:
+            h.observe(v)
+        values.sort()
+        for p in (10, 50, 90, 99):
+            k = max(1, math.ceil(p / 100 * len(values)))
+            exact = values[k - 1]
+            assert h.percentile(p) == pytest.approx(exact, rel=0.02)
+
+    def test_negative_values(self):
+        h = Histogram("h", streaming=True)
+        for v in (-100.0, -10.0, -1.0):
+            h.observe(v)
+        assert h.percentile(0) == -100.0
+        assert -11.0 < h.percentile(50) < -9.0
+
+    def test_summary_shape_matches_exact_mode(self):
+        exact, streaming = Histogram("e"), Histogram("s", streaming=True)
+        for v in range(1, 1001):
+            exact.observe(float(v))
+            streaming.observe(float(v))
+        se, ss = exact.summary(), streaming.summary()
+        assert set(se) == set(ss)
+        assert ss["count"] == se["count"]
+        assert ss["p99"] == pytest.approx(se["p99"], rel=0.03)
+
+    def test_bounds_checked(self):
+        h = Histogram("h", streaming=True)
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
 
 
 class TestTimeSeries:
@@ -116,6 +190,19 @@ class TestTimeSeries:
     def test_mean_empty_window_nan(self):
         ts = TimeSeries("t")
         assert math.isnan(ts.mean_over(0, 1))
+
+    def test_out_of_order_records_still_queryable(self):
+        ts = TimeSeries("t")
+        for t in (5.0, 1.0, 3.0):
+            ts.record(t, t * 10)
+        assert ts.window(0.0, 3.5) == [(1.0, 10.0), (3.0, 30.0)]
+        assert ts.mean_over(0.0, 6.0) == pytest.approx(30.0)
+
+    def test_interleaved_record_and_query(self):
+        ts = TimeSeries("t")
+        for t in range(100):
+            ts.record(float(t), 1.0)
+            assert ts.mean_over(0.0, float(t)) == pytest.approx(1.0)
 
 
 class TestBandwidthMeter:
@@ -153,6 +240,26 @@ class TestBandwidthMeter:
         m.on_send(0.0, 100)
         assert m.bytes_sent == 100
         assert m.bytes_in_window(0, 10) == 0  # events not kept
+
+    def test_interleaved_record_and_window_query(self):
+        m = BandwidthMeter("m")
+        for t in range(50):
+            m.on_send(float(t), 10)
+            assert m.bytes_in_window(0.0, float(t)) == 10 * (t + 1)
+
+    def test_out_of_order_events_still_counted(self):
+        m = BandwidthMeter("m")
+        for t in (5.0, 1.0, 3.0):
+            m.on_send(t, 100)
+        assert m.bytes_in_window(0.0, 3.5) == 200
+        assert m.bytes_in_window(0.0, 10.0) == 300
+
+    def test_event_accessors(self):
+        m = BandwidthMeter("m")
+        m.on_send(1.0, 10)
+        m.on_receive(2.0, 20)
+        assert m.sent_events() == [(1.0, 10)]
+        assert m.received_events() == [(2.0, 20)]
 
 
 class TestRegistry:

@@ -7,7 +7,7 @@ from hypothesis import given, strategies as st
 
 from repro.errors import NetworkError
 from repro.sim import Network, Simulator, Topology, approx_size
-from repro.sim.network import MESSAGE_OVERHEAD_BYTES
+from repro.sim.network import MESSAGE_OVERHEAD_BYTES, SizedPayload
 
 
 class Sink:
@@ -114,6 +114,76 @@ class TestDelivery:
         network.send("a", "b", "m", {"v": 1})
         sim.run_until(1.0)
         assert len(seen) == 1
+
+
+class TestSizedPayload:
+    def test_handler_sees_unwrapped_payload(self, sim, network):
+        wire(network, "a")
+        b = wire(network, "b")
+        network.send("a", "b", "m", SizedPayload({"x": 1}))
+        sim.run_until(1.0)
+        assert b.received[0].payload == {"x": 1}
+
+    def test_memoized_size_is_used(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        network.send("a", "b", "m", SizedPayload({"ignored": True}, size=500))
+        assert network.meter("a").bytes_sent == 500 + MESSAGE_OVERHEAD_BYTES
+
+    def test_default_size_matches_approx_size(self):
+        payload = {"node": "node-00042", "ram_mb": 4096}
+        assert SizedPayload(payload).size == approx_size(payload)
+        assert approx_size(SizedPayload(payload, size=7)) == 7
+
+
+class TestDropAccounting:
+    """Every lost message increments ``messages_dropped`` exactly once."""
+
+    def test_unknown_destination_counted_once_at_send(self, sim, network):
+        wire(network, "a")
+        network.send("a", "ghost", "m", {})
+        # Dropped immediately: no delivery event exists to double-count it.
+        assert network.metrics.counter("messages_dropped").value == 1
+        assert (
+            network.metrics.counter("messages_dropped.unknown_destination").value == 1
+        )
+        sim.run_until(5.0)
+        assert network.metrics.counter("messages_dropped").value == 1
+
+    def test_blocked_counted_once_with_reason(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        network.block("a", "b")
+        network.send("a", "b", "m", {})
+        sim.run_until(1.0)
+        assert network.metrics.counter("messages_dropped").value == 1
+        assert network.metrics.counter("messages_dropped.blocked").value == 1
+
+    def test_dead_endpoint_counted_once_with_reason(self, sim, network):
+        wire(network, "a", "us-east-2")
+        wire(network, "b", "us-west-2")
+        network.send("a", "b", "m", {})
+        network.unregister("b")
+        sim.run_until(5.0)
+        assert network.metrics.counter("messages_dropped").value == 1
+        assert network.metrics.counter("messages_dropped.dead_endpoint").value == 1
+
+    def test_dead_endpoint_keeps_its_region_latency(self, sim, network):
+        # Regression: a message to a just-unregistered endpoint used to be
+        # delayed by the *sender's* intra-region latency regardless of where
+        # the dead node lived.
+        wire(network, "a", "us-east-2")
+        wire(network, "b", "us-west-2")
+        network.unregister("b")
+        network.send("a", "b", "m", {})
+        intra = network.topology.latency("us-east-2", "us-east-2")
+        cross = network.topology.latency("us-east-2", "us-west-2")
+        assert cross > intra * 10
+        sim.run_until(intra * (1 + network.jitter_fraction) + 0.001)
+        # Still in flight across the continent: not yet dropped.
+        assert network.metrics.counter("messages_dropped").value == 0
+        sim.run_until(cross * (1 + network.jitter_fraction) + 0.001)
+        assert network.metrics.counter("messages_dropped").value == 1
 
 
 class TestAccounting:
