@@ -1,13 +1,20 @@
-# Developer entry points. `make check` is what CI runs: the tier-1 suite
-# plus a smoke pass of the kernel microbenchmarks (which also re-verifies
-# the >=2x hot-path speedups and the seeded-run determinism checksum).
+# Developer entry points. `make check` is what CI runs: the tier-1 suite,
+# the scheduler-equivalence gate (calendar queue + timer wheel must be
+# bit-identical to the reference heap), and a smoke pass of the kernel
+# microbenchmarks (which also re-verifies the hot-path speedups and the
+# seeded-run determinism checksum).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test bench-kernel bench-kernel-smoke bench
+.PHONY: check test scheduler-equivalence bench-kernel bench-kernel-smoke bench
 
-check: test bench-kernel-smoke
+check: test scheduler-equivalence bench-kernel-smoke
+
+# Also part of `test`; kept as a named gate so scheduler changes can be
+# validated in isolation (and so CI logs show the equivalence pass by name).
+scheduler-equivalence:
+	$(PYTHON) -m pytest tests/test_sim_scheduler.py -q
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -177,6 +177,9 @@ def test_ablation_cache_freshness(benchmark, record_rows):
             grouped_placement_query(rng, limit=10, freshness_ms=freshness_ms)
             for _ in range(60)
         ]
+        # Exact mode on purpose: figure percentiles are compared against
+        # the paper to float precision, and these runs observe a few
+        # hundred samples with no interleaved percentile reads.
         latency = Histogram("lat")
         start = scenario.sim.now
         for index, query in enumerate(queries):
@@ -226,6 +229,9 @@ def test_ablation_delegation(benchmark, record_rows):
         finder = build_finder("focus", 200, config=config)
         scenario = finder.scenario
         scenario.sim.run_until(3.0)
+        # Exact mode on purpose: figure percentiles are compared against
+        # the paper to float precision, and these runs observe a few
+        # hundred samples with no interleaved percentile reads.
         latency = Histogram("lat")
         sources = {"delegated": 0, "other": 0}
 

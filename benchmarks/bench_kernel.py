@@ -253,25 +253,149 @@ def bench_send_fanout(quick: bool) -> Dict[str, object]:
     }
 
 
+#: PR 1's committed event_loop throughput (one-shot schedule burst on the
+#: single-heap scheduler). The calendar-queue + timer-wheel PR's acceptance
+#: bar is >=2x this number at 1600-node SWIM timer density.
+PR1_EVENT_LOOP_BASELINE = 273_782.05
+
+
+def _timer_density_run(
+    scheduler: str, coalesce: bool, nodes: int, duration: float
+) -> Tuple[int, float]:
+    """One SWIM-density timer storm: every node runs a 1 s probe timer and a
+    100 ms gossip timer (the paper's node-agent cadence), with per-timer
+    jitter. Returns (events_processed, elapsed_seconds) for the run itself;
+    timer registration happens outside the timed region."""
+    from repro.sim.loop import RepeatingTimer
+
+    sim = Simulator(seed=7, scheduler=scheduler, coalesce_timers=coalesce)
+    counts = [0]
+
+    def tick() -> None:
+        counts[0] += 1
+
+    for i in range(nodes):
+        RepeatingTimer(sim, 1.0, tick, 0.1, sim.rng).start(
+            start_delay=(i % 10) * 0.01
+        )
+        RepeatingTimer(sim, 0.1, tick, 0.01, sim.rng).start(
+            start_delay=(i % 7) * 0.005
+        )
+    start = time.perf_counter()
+    sim.run_until(duration)
+    elapsed = time.perf_counter() - start
+    assert counts[0] == sim.events_processed  # every event is a timer firing
+    return sim.events_processed, elapsed
+
+
+def _best_rate(runs: int, fn: Callable[[], Tuple[int, float]]) -> Tuple[int, float]:
+    """Best events/sec over ``runs`` attempts (min-noise estimator)."""
+    best = 0.0
+    events = 0
+    for _ in range(runs):
+        ev, elapsed = fn()
+        events = ev
+        best = max(best, ev / elapsed)
+    return events, best
+
+
 def bench_event_loop(quick: bool) -> Dict[str, object]:
-    """Raw schedule + dispatch throughput of the event loop (no before/after:
-    the pre-PR queue cannot be reconstructed, so this records the trajectory)."""
-    num_events = 50_000 if quick else 200_000
+    """Event-loop throughput at SWIM timer density: the pre-PR configuration
+    (single heap, one event per timer firing) vs the default scheduler
+    (calendar-queue hybrid + timer-wheel coalescing). Both process the exact
+    same events in the exact same order — the assertion below fails the
+    bench if the counts ever diverge."""
+    nodes = 400 if quick else 1600
+    duration = 5.0 if quick else 10.0
+    runs = 1 if quick else 3
 
-    def run() -> int:
-        sim = Simulator(seed=3)
-        sink = []
+    naive_events, naive = _best_rate(
+        runs, lambda: _timer_density_run("heap", False, nodes, duration)
+    )
+    optimized_events, optimized = _best_rate(
+        runs, lambda: _timer_density_run("calendar", True, nodes, duration)
+    )
+    assert naive_events == optimized_events, (
+        f"scheduler equivalence broken: {naive_events} != {optimized_events}"
+    )
+    return {
+        "nodes": nodes,
+        "events": optimized_events,
+        "naive_ops_per_sec": naive,
+        "optimized_ops_per_sec": optimized,
+        "speedup": optimized / naive,
+        "pr1_baseline_ops_per_sec": PR1_EVENT_LOOP_BASELINE,
+        "speedup_vs_pr1_baseline": optimized / PR1_EVENT_LOOP_BASELINE,
+    }
 
-        def on_fire(i: int) -> None:
-            if i % 16 == 0:
-                sink.append(i)
 
-        for i in range(num_events):
-            sim.schedule((i % 1000) * 0.001, on_fire, i)
-        sim.run_until(2.0)
-        return num_events
+def bench_timer_storm(quick: bool) -> Dict[str, object]:
+    """Timer churn: nodes restart their timers and schedule-then-cancel
+    probe-timeout one-shots every round, stressing O(1) tombstoning plus
+    wheel re-aiming against the heap's allocate-per-firing path."""
+    nodes = 200 if quick else 800
+    rounds = 10 if quick else 20
 
-    return {"events": num_events, "ops_per_sec": measure(run)}
+    def run(scheduler: str, coalesce: bool) -> Tuple[int, float]:
+        sim = Simulator(seed=11, scheduler=scheduler, coalesce_timers=coalesce)
+        timers = {}
+
+        def tick() -> None:
+            pass
+
+        def churn(round_no: int) -> None:
+            # A rotating 10% of nodes crash and rejoin: their periodic
+            # timers stop (tombstoning) and fresh ones start.
+            for i in range(nodes // 10):
+                victim = (round_no * nodes // 10 + i) % nodes
+                timers[victim].stop()
+                timers[victim] = sim.call_every(0.1, tick, jitter=0.01)
+            # Probe-timeout pattern: schedule a deadline, cancel most of
+            # them shortly after (acks usually win the race).
+            for i in range(nodes // 2):
+                handle = sim.schedule(0.3, tick)
+                if i % 4:
+                    sim.schedule(0.1, handle.cancel)
+
+        for i in range(nodes):
+            timers[i] = sim.call_every(0.1, tick, jitter=0.01)
+        for r in range(rounds):
+            sim.schedule_at(r * 1.0 + 0.5, churn, r)
+        start = time.perf_counter()
+        sim.run_until(rounds * 1.0)
+        return sim.events_processed, time.perf_counter() - start
+
+    runs = 1 if quick else 3
+    naive_events, naive = _best_rate(runs, lambda: run("heap", False))
+    optimized_events, optimized = _best_rate(runs, lambda: run("calendar", True))
+    assert naive_events == optimized_events, (
+        f"scheduler equivalence broken: {naive_events} != {optimized_events}"
+    )
+    return {
+        "nodes": nodes,
+        "events": optimized_events,
+        "naive_ops_per_sec": naive,
+        "optimized_ops_per_sec": optimized,
+        "speedup": optimized / naive,
+    }
+
+
+def bench_scale_sweep(quick: bool) -> Dict[str, object]:
+    """First sweep past the paper's 1600-node ceiling: wall-clock cost of
+    ten simulated seconds of SWIM-density timers on the default scheduler."""
+    sizes = [400, 1600] if quick else [400, 1600, 3200, 6400]
+    duration = 2.0 if quick else 10.0
+    points = {}
+    for nodes in sizes:
+        events, rate = _best_rate(
+            1, lambda: _timer_density_run("calendar", True, nodes, duration)
+        )
+        points[str(nodes)] = {
+            "events": events,
+            "ops_per_sec": rate,
+            "sim_seconds_per_wall_second": duration / (events / rate),
+        }
+    return {"duration": duration, "points": points}
 
 
 def determinism_checksum() -> str:
@@ -312,6 +436,8 @@ BENCHES = {
     "histogram_interleaved": bench_histogram_interleaved,
     "send_repeated_payload": bench_send_fanout,
     "event_loop": bench_event_loop,
+    "timer_storm": bench_timer_storm,
+    "scale_sweep": bench_scale_sweep,
 }
 
 
@@ -319,11 +445,16 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller sizes, for CI smoke runs")
-    parser.add_argument("--out", default="BENCH_kernel.json",
-                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_kernel.json, "
+                             "or BENCH_kernel.quick.json under --quick so "
+                             "smoke runs never clobber the committed "
+                             "full-mode baseline)")
     parser.add_argument("--only", choices=sorted(BENCHES),
                         help="run a single benchmark")
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = "BENCH_kernel.quick.json" if args.quick else "BENCH_kernel.json"
 
     results: Dict[str, object] = {}
     names = [args.only] if args.only else list(BENCHES)
@@ -334,6 +465,11 @@ def main(argv=None) -> int:
             print(f"{name:26s} {result['naive_ops_per_sec']:>12.0f} -> "
                   f"{result['optimized_ops_per_sec']:>12.0f} ops/s "
                   f"({result['speedup']:.1f}x)")
+        elif "points" in result:
+            for nodes, point in result["points"].items():
+                print(f"{name:26s} {nodes:>5s} nodes "
+                      f"{point['ops_per_sec']:>12.0f} ops/s "
+                      f"({point['sim_seconds_per_wall_second']:.1f}x real time)")
         else:
             print(f"{name:26s} {result['ops_per_sec']:>12.0f} ops/s")
 
@@ -364,6 +500,18 @@ def main(argv=None) -> int:
     if failures:
         print(f"FAIL: speedup < 2x on: {', '.join(failures)}", file=sys.stderr)
         return 1
+    # Acceptance bar for the calendar-queue/timer-wheel PR: at 1600-node
+    # timer density the default scheduler must clear 2x PR 1's committed
+    # event-loop throughput. Only enforced on full runs — quick mode uses a
+    # smaller population that is not comparable to the baseline.
+    if not args.quick and "event_loop" in results:
+        ratio = results["event_loop"]["speedup_vs_pr1_baseline"]
+        if ratio < 2.0:
+            print(f"FAIL: event_loop at 1600-node density is only "
+                  f"{ratio:.2f}x the PR 1 baseline "
+                  f"({PR1_EVENT_LOOP_BASELINE:.0f} ops/s); need >=2x",
+                  file=sys.stderr)
+            return 1
     if not deterministic:
         print("FAIL: seeded run is not deterministic", file=sys.stderr)
         return 1

@@ -61,7 +61,8 @@ class EventCoalescer:
             self._pending[bucket] = (payload, origin)
             if not self._flush_scheduled:
                 self._flush_scheduled = True
-                self.sim.schedule(self.window, self._flush)
+                # Fire-and-forget: flushes are never cancelled.
+                self.sim.post(self.window, self._flush)
 
         return on_event
 

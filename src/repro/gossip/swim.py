@@ -189,7 +189,7 @@ class SwimAgent(Process):
         if self._gossip_scheduled or not self.running:
             return
         self._gossip_scheduled = True
-        self.after(self.config.gossip_interval, self._gossip_tick)
+        self.post(self.config.gossip_interval, self._gossip_tick)
 
     def _gossip_tick(self) -> None:
         self._gossip_scheduled = False
@@ -233,8 +233,8 @@ class SwimAgent(Process):
             {"seq": seq, "from": me.to_wire(), "u": updates},
             size=24 + me.wire_size() + usize,
         )
-        self.after(self.config.probe_timeout, self._direct_probe_timeout, seq)
-        self.after(self.config.probe_timeout * 3, self._final_probe_timeout, seq)
+        self.post(self.config.probe_timeout, self._direct_probe_timeout, seq)
+        self.post(self.config.probe_timeout * 3, self._final_probe_timeout, seq)
 
     def _next_probe_target(self) -> Optional[str]:
         alive = self.members.alive_names(exclude_self=True)
@@ -334,7 +334,7 @@ class SwimAgent(Process):
             size=24 + me.wire_size() + usize,
         )
         # Forget the relay if no ack arrives in time.
-        self.after(self.config.probe_timeout * 2, self._relayed.pop, relay_seq, None)
+        self.post(self.config.probe_timeout * 2, self._relayed.pop, relay_seq, None)
 
     # -------------------------------------------------------------- suspicion
     def _suspect(self, member: Member) -> None:
@@ -353,7 +353,7 @@ class SwimAgent(Process):
     def _schedule_suspicion_timeout(self, member: Member) -> None:
         deadline = self.sim.now + self.config.suspicion_timeout(self.group_size())
         self._suspicion_deadlines[member.name] = deadline
-        self.after(
+        self.post(
             deadline - self.sim.now,
             self._suspicion_expired,
             member.name,

@@ -3,20 +3,39 @@
 Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
 increasing tie-breaker, so same-time events fire in scheduling order and runs
 are fully deterministic.
+
+Two implementations share the same API:
+
+* :class:`EventQueue` — a calendar-queue/heap hybrid. Near-term events live
+  in fixed-width time buckets (plain-list appends on insert, one heapify when
+  a bucket becomes the drain front), far-future events overflow to a binary
+  heap and migrate into buckets as the window advances. Cancellation is O(1)
+  tombstoning with periodic compaction. This is the default scheduler.
+* :class:`HeapEventQueue` — the original single binary heap, kept as the
+  reference implementation for the seeded equivalence tests and the
+  before/after kernel benchmarks.
+
+Both order strictly by ``(time, seq)``: the bucket index ``floor(time / width)``
+is a monotone function of ``time`` and entries within a bucket are drained
+through a heap of ``(time, seq, event)`` tuples, so the hybrid pops events in
+exactly the order the plain heap would — verified bit-for-bit by
+``tests/test_sim_scheduler.py``.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 class Event:
     """A scheduled callback.
 
     Instances are created by the :class:`~repro.sim.loop.Simulator`; user code
-    normally only sees the :class:`TimerHandle` wrapper.
+    normally only sees the :class:`TimerHandle` wrapper. ``time`` and ``seq``
+    are mutable so the timer wheel can recycle one sentinel event across
+    firings instead of allocating a new object per period.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
@@ -44,12 +63,17 @@ class Event:
 
 
 class TimerHandle:
-    """Cancellation handle returned by ``Simulator.schedule``."""
+    """Cancellation handle returned by ``Simulator.schedule``.
 
-    __slots__ = ("_event",)
+    When constructed with the owning queue, cancellation notifies it so the
+    queue can count tombstones and compact once they dominate the live set.
+    """
 
-    def __init__(self, event: Event) -> None:
+    __slots__ = ("_event", "_queue")
+
+    def __init__(self, event: Event, queue: Optional["EventQueue"] = None) -> None:
         self._event = event
+        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -65,53 +89,63 @@ class TimerHandle:
 
         Cancelling an already-fired or already-cancelled event is a no-op.
         """
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if self._queue is not None:
+                self._queue.note_cancelled()
 
 
-class EventQueue:
-    """A heap of scheduled events with lazy cancellation.
+_Entry = Tuple[float, int, Event]
+
+
+class HeapEventQueue:
+    """A single binary heap of scheduled events with lazy cancellation.
 
     Heap entries are ``(time, seq, event)`` tuples rather than the events
     themselves: every sift comparison is then a C-level tuple comparison
-    instead of a Python ``__lt__`` call that builds two tuples, which is a
-    measurable win on the push/pop hot path. Ordering is identical —
-    ``(time, seq)`` with ``seq`` a monotone tie-breaker.
+    instead of a Python ``__lt__`` call that builds two tuples. This was the
+    only scheduler before the calendar hybrid landed; it is retained as the
+    obviously-correct reference for equivalence tests and benchmarks.
     """
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: List[_Entry] = []
         self._seq = itertools.count()
 
     def __len__(self) -> int:
         return len(self._heap)
 
+    def alloc_seq(self) -> int:
+        """Reserve the next ordering sequence number (for the timer wheel)."""
+        return next(self._seq)
+
     def push(self, time: float, callback: Callable[..., Any], args: tuple) -> Event:
         seq = next(self._seq)
         event = Event(time, seq, callback, args)
-        heapq.heappush(self._heap, (time, seq, event))
+        heappush(self._heap, (time, seq, event))
         return event
+
+    def push_entry(self, event: Event) -> None:
+        """Insert an event whose ``time``/``seq`` are already assigned."""
+        heappush(self._heap, (event.time, event.seq, event))
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
         heap = self._heap
         while heap:
-            event = heapq.heappop(heap)[2]
+            event = heappop(heap)[2]
             if not event.cancelled:
                 return event
         return None
 
     def pop_before(self, bound: float) -> Optional[Event]:
-        """Pop the next live event with ``time <= bound``, else ``None``.
-
-        One heap inspection plus at most one pop per live event, which lets
-        :meth:`Simulator.run_until` avoid a separate peek-then-pop pair per
-        event.
-        """
+        """Pop the next live event with ``time <= bound``, else ``None``."""
         heap = self._heap
         while heap:
             if heap[0][0] > bound:
                 return None
-            event = heapq.heappop(heap)[2]
+            event = heappop(heap)[2]
             if not event.cancelled:
                 return event
         return None
@@ -120,10 +154,266 @@ class EventQueue:
         """Time of the next live event without popping it."""
         heap = self._heap
         while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
+            heappop(heap)
         if heap:
             return heap[0][0]
         return None
 
+    def note_cancelled(self) -> None:
+        """Tombstone accounting hook; the plain heap only skips lazily."""
+
     def clear(self) -> None:
         self._heap.clear()
+
+
+#: Default bucket width: 1/20 of the SWIM probe interval (1 s), so a
+#: 1600-node probe storm spreads over ~20 buckets of ~80 timers each and a
+#: 100 ms gossip tick typically lands one or two buckets ahead of the front.
+DEFAULT_BUCKET_WIDTH = 0.05
+
+#: Default wheel span in buckets; with the default width this covers a 25.6 s
+#: near-term window (probe timeouts, suspicion deadlines, gossip ticks all
+#: fit) while 30/60 s anti-entropy and reclaim timers overflow to the heap.
+DEFAULT_WHEEL_SPAN = 512
+
+#: Compaction trigger: once at least this many tombstones exist *and* they
+#: outnumber live entries, cancelled events are swept out eagerly.
+_COMPACT_MIN_TOMBSTONES = 512
+
+
+class EventQueue:
+    """Calendar-queue/heap hybrid scheduler.
+
+    Layout:
+
+    * ``_front`` — the bucket currently being drained, kept as a heap of
+      ``(time, seq, event)`` tuples (heapified once when the bucket is
+      promoted; insertions landing at or before the front bucket heappush
+      directly so zero-delay and same-bucket scheduling stay exact);
+    * ``_buckets`` — near-term buckets keyed by absolute bucket index
+      ``floor(time / width)``; inserts are plain O(1) list appends, FIFO, and
+      only sorted (heapified) when the bucket becomes the front;
+    * ``_overflow`` — far-future events beyond the wheel horizon, in a binary
+      heap; they migrate into buckets as the front advances.
+
+    Cancellation tombstones events in place; :meth:`note_cancelled` counts
+    them and triggers :meth:`compact` when they outnumber live entries.
+    """
+
+    def __init__(
+        self,
+        bucket_width: float = DEFAULT_BUCKET_WIDTH,
+        wheel_span: int = DEFAULT_WHEEL_SPAN,
+    ) -> None:
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        if wheel_span < 1:
+            raise ValueError(f"wheel_span must be >= 1, got {wheel_span}")
+        self._width = float(bucket_width)
+        self._inv_width = 1.0 / self._width
+        self._span = int(wheel_span)
+        self._seq = itertools.count()
+        self._front: List[_Entry] = []
+        self._front_index = -1
+        self._horizon = self._span
+        self._buckets: Dict[int, List[_Entry]] = {}
+        self._nonempty: List[int] = []
+        self._overflow: List[_Entry] = []
+        self._size = 0
+        self._tombstones = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def bucket_width(self) -> float:
+        return self._width
+
+    def alloc_seq(self) -> int:
+        """Reserve the next ordering sequence number (for the timer wheel)."""
+        return next(self._seq)
+
+    # ---------------------------------------------------------------- insert
+    def push(self, time: float, callback: Callable[..., Any], args: tuple) -> Event:
+        seq = next(self._seq)
+        event = Event(time, seq, callback, args)
+        # Inline routing: this is the hottest insert path in the kernel.
+        index = int(time * self._inv_width)
+        if index <= self._front_index:
+            heappush(self._front, (time, seq, event))
+        elif index < self._horizon:
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                self._buckets[index] = [(time, seq, event)]
+                heappush(self._nonempty, index)
+            else:
+                bucket.append((time, seq, event))
+        else:
+            heappush(self._overflow, (time, seq, event))
+        self._size += 1
+        return event
+
+    def push_entry(self, event: Event) -> None:
+        """Insert an event whose ``time``/``seq`` are already assigned.
+
+        Used by the timer wheel to recycle its sentinel event: the sentinel
+        adopts the exact ``(time, seq)`` of the member timer it proxies, so
+        global ordering is identical to scheduling each timer individually.
+        Routing is inlined — this runs once per coalesced timer firing.
+        """
+        time = event.time
+        index = int(time * self._inv_width)
+        entry = (time, event.seq, event)
+        if index <= self._front_index:
+            heappush(self._front, entry)
+        elif index < self._horizon:
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                self._buckets[index] = [entry]
+                heappush(self._nonempty, index)
+            else:
+                bucket.append(entry)
+        else:
+            heappush(self._overflow, entry)
+        self._size += 1
+
+    def _route(self, entry: _Entry) -> None:
+        index = int(entry[0] * self._inv_width)
+        if index <= self._front_index:
+            heappush(self._front, entry)
+        elif index < self._horizon:
+            bucket = self._buckets.get(index)
+            if bucket is None:
+                self._buckets[index] = [entry]
+                heappush(self._nonempty, index)
+            else:
+                bucket.append(entry)
+        else:
+            heappush(self._overflow, entry)
+
+    # ----------------------------------------------------------------- drain
+    def _advance(self) -> bool:
+        """Promote the next non-empty bucket to the front; ``False`` if empty."""
+        buckets = self._buckets
+        nonempty = self._nonempty
+        while True:
+            if nonempty:
+                index = heappop(nonempty)
+                bucket = buckets.pop(index, None)
+                if not bucket:
+                    continue
+                if len(bucket) > 1:
+                    heapify(bucket)
+                self._front = bucket
+                self._front_index = index
+                horizon = index + self._span
+                if horizon > self._horizon:
+                    self._horizon = horizon
+                    self._migrate()
+                return True
+            if not self._overflow:
+                return False
+            # Whole wheel is empty: jump the window to the overflow head.
+            index = int(self._overflow[0][0] * self._inv_width)
+            self._front_index = index
+            self._horizon = index + self._span
+            self._migrate()
+            if self._front:
+                return True
+
+    def _migrate(self) -> None:
+        """Move overflow events now inside the wheel window into buckets."""
+        overflow = self._overflow
+        if not overflow:
+            return
+        horizon = self._horizon
+        inv_width = self._inv_width
+        while overflow and int(overflow[0][0] * inv_width) < horizon:
+            self._route(heappop(overflow))
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
+        while True:
+            front = self._front
+            if front:
+                entry = heappop(front)
+                self._size -= 1
+                event = entry[2]
+                if not event.cancelled:
+                    return event
+                continue
+            if not self._advance():
+                return None
+
+    def pop_before(self, bound: float) -> Optional[Event]:
+        """Pop the next live event with ``time <= bound``, else ``None``.
+
+        One front-heap inspection plus at most one pop per live event, which
+        lets :meth:`Simulator.run_until` avoid a separate peek-then-pop pair.
+        """
+        front = self._front
+        while True:
+            if front:
+                if front[0][0] > bound:
+                    return None
+                entry = heappop(front)
+                self._size -= 1
+                event = entry[2]
+                if not event.cancelled:
+                    return event
+                continue
+            if not self._advance():
+                return None
+            front = self._front
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without popping it."""
+        while True:
+            front = self._front
+            while front:
+                entry = front[0]
+                if not entry[2].cancelled:
+                    return entry[0]
+                heappop(front)
+                self._size -= 1
+            if not self._advance():
+                return None
+
+    # ------------------------------------------------------------ tombstones
+    def note_cancelled(self) -> None:
+        """Record one cancellation; compact once tombstones dominate."""
+        self._tombstones += 1
+        if (
+            self._tombstones >= _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 >= self._size
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop every tombstoned entry, keeping live entries' exact order.
+
+        The wheel window (``_front_index``/``_horizon``) is preserved and all
+        live entries are re-routed through it, so ordering is untouched.
+        """
+        entries = [e for e in self._front if not e[2].cancelled]
+        for bucket in self._buckets.values():
+            entries.extend(e for e in bucket if not e[2].cancelled)
+        entries.extend(e for e in self._overflow if not e[2].cancelled)
+        self._front = []
+        self._buckets = {}
+        self._nonempty = []
+        self._overflow = []
+        self._tombstones = 0
+        self._size = len(entries)
+        for entry in entries:
+            self._route(entry)
+
+    def clear(self) -> None:
+        self._front = []
+        self._front_index = -1
+        self._horizon = self._span
+        self._buckets = {}
+        self._nonempty = []
+        self._overflow = []
+        self._size = 0
+        self._tombstones = 0

@@ -4,15 +4,26 @@ A :class:`Simulator` owns simulated time, the event queue and the root random
 number generator. Everything in a run — gossip timers, network deliveries,
 workload arrivals — is an event on this single loop, which makes runs
 reproducible from a single seed.
+
+Scheduling backends (``scheduler=`` constructor knob):
+
+* ``"calendar"`` (default) — the calendar-queue/heap hybrid in
+  :mod:`repro.sim.events`, plus a :class:`TimerWheel` that coalesces
+  same-interval :class:`RepeatingTimer` storms (1600 nodes' probe ticks)
+  into one recycled sentinel entry per interval class;
+* ``"heap"`` — the original single binary heap with per-timer scheduling,
+  kept so equivalence tests and benchmarks can A/B the two. Both backends
+  produce bit-identical event order and RNG draws for the same seed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Optional
+from heapq import heappop, heappush, heapreplace
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.events import EventQueue, TimerHandle
+from repro.sim.events import Event, EventQueue, HeapEventQueue, TimerHandle
 
 
 class Simulator:
@@ -24,12 +35,44 @@ class Simulator:
         Seed for the root RNG. Child components should derive their own
         streams via :meth:`derive_rng` so that adding a component does not
         perturb the randomness seen by unrelated components.
+    scheduler:
+        ``"calendar"`` (default) or ``"heap"``; see the module docstring.
+    coalesce_timers:
+        When ``True`` (default) repeating timers register with the shared
+        :class:`TimerWheel` instead of re-scheduling themselves one event per
+        firing. Ordering is bit-identical either way.
+    bucket_width / wheel_span:
+        Calendar-queue geometry, forwarded to :class:`EventQueue`.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        scheduler: str = "calendar",
+        coalesce_timers: bool = True,
+        bucket_width: Optional[float] = None,
+        wheel_span: Optional[int] = None,
+    ) -> None:
         self.seed = seed
         self.rng = random.Random(seed)
-        self._queue = EventQueue()
+        if scheduler == "calendar":
+            kwargs = {}
+            if bucket_width is not None:
+                kwargs["bucket_width"] = bucket_width
+            if wheel_span is not None:
+                kwargs["wheel_span"] = wheel_span
+            self._queue = EventQueue(**kwargs)
+        elif scheduler == "heap":
+            self._queue = HeapEventQueue()
+        else:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r} (expected 'calendar' or 'heap')"
+            )
+        self.scheduler = scheduler
+        self._wheel: Optional[TimerWheel] = (
+            TimerWheel(self) if coalesce_timers else None
+        )
         self._now = 0.0
         self._running = False
         self._events_processed = 0
@@ -53,7 +96,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
         event = self._queue.push(self._now + delay, callback, args)
-        return TimerHandle(event)
+        return TimerHandle(event, self._queue)
 
     def schedule_at(
         self, time: float, callback: Callable[..., Any], *args: Any
@@ -64,7 +107,18 @@ class Simulator:
                 f"cannot schedule at t={time:.6f} (now={self._now:.6f})"
             )
         event = self._queue.push(time, callback, args)
-        return TimerHandle(event)
+        return TimerHandle(event, self._queue)
+
+    def post(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no :class:`TimerHandle`.
+
+        For hot paths (network deliveries, protocol timeouts) that never
+        cancel: it skips the handle allocation entirely. Ordering is
+        identical to :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
+        self._queue.push(self._now + delay, callback, args)
 
     def call_every(
         self,
@@ -111,7 +165,7 @@ class Simulator:
                 f"cannot run backwards to t={time:.6f} (now={self._now:.6f})"
             )
         # Hot loop: one bounded pop per event instead of peek + pop, with the
-        # bound check done against the heap head inside the queue.
+        # bound check done against the queue head inside the queue.
         pop_before = self._queue.pop_before
         while True:
             event = pop_before(time)
@@ -141,8 +195,212 @@ class Simulator:
         return random.Random(f"{self.seed}/{label}")
 
 
+class _IntervalClass:
+    """All wheel-registered timers sharing one interval value.
+
+    ``heap`` orders members by their next ``(fire_time, seq)``; ``event`` is
+    the single recycled sentinel scheduled at the head member's exact key;
+    ``target`` is that key while ``scheduled`` is true.
+    """
+
+    __slots__ = ("interval", "heap", "event", "target", "scheduled")
+
+    def __init__(self, interval: float) -> None:
+        self.interval = interval
+        self.heap: list = []
+        self.event: Optional[Event] = None
+        self.target: Optional[Tuple[float, int]] = None
+        self.scheduled = False
+
+
+class TimerWheel:
+    """Coalesces same-interval periodic timers into shared queue slots.
+
+    N nodes' probe timers at the same interval keep N entries in one small
+    per-class heap but only **one** entry — a recycled sentinel — in the
+    event queue. Each firing pops exactly one due member, re-arms it (drawing
+    its jitter from its own RNG, same as self-scheduling would), and re-aims
+    the sentinel at the new head. The sentinel always adopts the head
+    member's exact ``(time, seq)`` key, with seq numbers allocated from the
+    queue's shared counter at the same moments per-timer scheduling would
+    allocate them — so event order, RNG draws and ``events_processed`` are
+    bit-identical to the un-coalesced implementation (asserted by
+    ``tests/test_sim_scheduler.py``), while each firing costs two small heap
+    operations and zero allocations instead of an ``Event`` + ``TimerHandle``
+    pair per period.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._queue = sim._queue
+        # Bound seq allocator: one C call per re-arm instead of a method hop.
+        self._alloc = sim._queue._seq.__next__
+        self._classes: Dict[float, _IntervalClass] = {}
+
+    def class_count(self) -> int:
+        """Number of distinct interval classes seen (test/debug helper)."""
+        return len(self._classes)
+
+    def add(self, timer: "RepeatingTimer", fire_time: float) -> None:
+        """Register ``timer``'s next firing at absolute ``fire_time``."""
+        queue = self._sim._queue
+        seq = queue.alloc_seq()
+        interval = timer._interval
+        cls = self._classes.get(interval)
+        if cls is None:
+            cls = _IntervalClass(interval)
+            self._classes[interval] = cls
+        key = (fire_time, seq)
+        timer._pending = key
+        timer._pending_class = cls
+        heappush(cls.heap, (fire_time, seq, timer))
+        if not cls.scheduled or key < cls.target:
+            self._retarget(cls)
+
+    def discard(self, timer: "RepeatingTimer") -> None:
+        """Forget a stopped timer.
+
+        Its heap entry is tombstoned lazily; the sentinel is re-aimed only if
+        it was pointing at this very timer.
+        """
+        cls = timer._pending_class
+        if cls is not None and cls.scheduled and cls.target == timer._pending:
+            self._retarget(cls)
+
+    def _fire_class(self, cls: _IntervalClass) -> None:
+        """Sentinel callback: fire the one due member, re-arm, re-aim.
+
+        This is the per-event hot path of a coalesced timer storm, so the
+        common case (member stays in its class, sentinel reusable, head
+        live) is fully inlined: two small-heap operations, one jitter draw,
+        one seq allocation, one bucket insert — zero allocations.
+        """
+        heap = cls.heap
+        while True:
+            time, seq, timer = heap[0]
+            pending = timer._pending
+            if not timer._stopped and pending[0] == time and pending[1] == seq:
+                break
+            heappop(heap)  # tombstoned (stopped or superseded) member
+            if not heap:  # pragma: no cover - sentinel is re-aimed on head stop
+                cls.scheduled = False
+                cls.target = None
+                return
+        # Re-arm before the callback, exactly like RepeatingTimer._fire: the
+        # jitter draw and seq allocation happen at the same moments they
+        # would under per-timer scheduling. The sentinel fired *at* the
+        # member's key, so the member's own ``time`` is the current clock.
+        interval = timer._interval
+        jitter = timer._jitter
+        if jitter > 0.0:
+            next_time = time + interval + timer._rng.uniform(0.0, jitter)
+        else:
+            next_time = time + interval
+        next_seq = self._alloc()
+        timer._pending = (next_time, next_seq)
+        if interval == cls.interval:
+            # next_time > time, so replacing the heap top keeps the invariant
+            # with a single sift instead of a pop + push pair.
+            heapreplace(heap, (next_time, next_seq, timer))
+        else:
+            # set_interval moved the timer to a different class mid-flight.
+            heappop(heap)
+            self._rearm_into_new_class(timer, next_time, next_seq)
+        # Re-aim the sentinel at the class's live head.
+        while heap:
+            head_time, head_seq, head_timer = heap[0]
+            pending = head_timer._pending
+            if (
+                head_timer._stopped
+                or pending[0] != head_time
+                or pending[1] != head_seq
+            ):
+                heappop(heap)  # tombstoned (stopped or superseded) member
+                continue
+            event = cls.event  # the just-fired sentinel: free to recycle
+            event.time = head_time
+            event.seq = head_seq
+            cls.target = (head_time, head_seq)
+            self._queue.push_entry(event)  # cls.scheduled stays True
+            timer._callback()
+            return
+        cls.scheduled = False
+        cls.target = None
+        timer._callback()
+
+    def _rearm_into_new_class(
+        self, timer: "RepeatingTimer", next_time: float, next_seq: int
+    ) -> None:
+        """Slow path of :meth:`_fire_class`: the timer changed interval."""
+        interval = timer._interval
+        target_cls = self._classes.get(interval)
+        if target_cls is None:
+            target_cls = _IntervalClass(interval)
+            self._classes[interval] = target_cls
+        timer._pending_class = target_cls
+        key = (next_time, next_seq)
+        heappush(target_cls.heap, (next_time, next_seq, timer))
+        if not target_cls.scheduled or key < target_cls.target:
+            self._retarget(target_cls)
+
+    def _retarget(self, cls: _IntervalClass) -> None:
+        """Schedule the sentinel at the head member's exact ``(time, seq)``."""
+        heap = cls.heap
+        while heap:
+            time, seq, timer = heap[0]
+            if timer._stopped or timer._pending != (time, seq):
+                heappop(heap)  # tombstoned (stopped or superseded) member
+                continue
+            break
+        queue = self._sim._queue
+        if not heap:
+            if cls.scheduled:
+                cls.event.cancelled = True
+                queue.note_cancelled()
+                cls.event = None
+                cls.scheduled = False
+            cls.target = None
+            return
+        key = (time, seq)
+        if cls.scheduled:
+            if cls.target == key:
+                return
+            # The queued sentinel entry is stale; tombstone it and use a
+            # fresh Event (the old object stays behind as the tombstone).
+            cls.event.cancelled = True
+            queue.note_cancelled()
+            cls.event = None
+        event = cls.event
+        if event is None:
+            event = Event(time, seq, self._fire_class, (cls,))
+            cls.event = event
+        else:
+            event.time = time
+            event.seq = seq
+        queue.push_entry(event)
+        cls.scheduled = True
+        cls.target = key
+
+
 class RepeatingTimer:
-    """A periodic timer created by :meth:`Simulator.call_every`."""
+    """A periodic timer created by :meth:`Simulator.call_every`.
+
+    With timer coalescing on (the default) the timer registers with the
+    simulator's :class:`TimerWheel`; otherwise it re-schedules itself one
+    event per firing, which is the original (reference) behaviour.
+    """
+
+    __slots__ = (
+        "_sim",
+        "_interval",
+        "_callback",
+        "_jitter",
+        "_rng",
+        "_handle",
+        "_stopped",
+        "_pending",
+        "_pending_class",
+    )
 
     def __init__(
         self,
@@ -159,6 +417,8 @@ class RepeatingTimer:
         self._rng = rng
         self._handle: Optional[TimerHandle] = None
         self._stopped = False
+        self._pending: Optional[Tuple[float, int]] = None
+        self._pending_class: Optional[_IntervalClass] = None
 
     @property
     def stopped(self) -> bool:
@@ -178,10 +438,21 @@ class RepeatingTimer:
         if self._stopped:
             raise SimulationError("cannot restart a stopped timer")
         delay = self._next_delay() if start_delay is None else start_delay
-        self._handle = self._sim.schedule(delay, self._fire)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
+        wheel = self._sim._wheel
+        if wheel is not None:
+            wheel.add(self, self._sim.now + delay)
+        else:
+            self._handle = self._sim.schedule(delay, self._fire)
 
     def stop(self) -> None:
+        if self._stopped:
+            return
         self._stopped = True
+        if self._pending_class is not None:
+            self._sim._wheel.discard(self)
+            self._pending_class = None
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None

@@ -299,15 +299,35 @@ class _EventLog:
     def events(self) -> List[Tuple[float, int]]:
         return list(zip(self.times, self.sizes))
 
-    def bytes_between(self, start: float, end: float) -> int:
-        if not self.times:
-            return 0
+    def _ensure_sorted(self) -> None:
         if self._unsorted:
             order = sorted(range(len(self.times)), key=self.times.__getitem__)
             self.times = [self.times[i] for i in order]
             self.sizes = [self.sizes[i] for i in order]
             self._prefix = [0]
             self._unsorted = False
+
+    def drop_before(self, cutoff: float) -> int:
+        """Discard events with ``time < cutoff``; returns how many were dropped.
+
+        The prefix-sum cache is invalidated and rebuilt lazily on the next
+        query, so window sums that lie entirely at or after ``cutoff`` return
+        exactly what they would have on the untruncated log.
+        """
+        if not self.times:
+            return 0
+        self._ensure_sorted()
+        dropped = bisect_left(self.times, cutoff)
+        if dropped:
+            del self.times[:dropped]
+            del self.sizes[:dropped]
+            self._prefix = [0]
+        return dropped
+
+    def bytes_between(self, start: float, end: float) -> int:
+        if not self.times:
+            return 0
+        self._ensure_sorted()
         prefix = self._prefix
         if len(prefix) <= len(self.sizes):
             total = prefix[-1]
@@ -330,12 +350,33 @@ class BandwidthMeter:
 
     Tracks totals and a per-direction event log so benchmarks can compute
     average KB/s over any measurement window without rescanning the run.
+
+    ``horizon`` (seconds) turns the event logs into a ring buffer: every
+    :data:`_TRUNCATE_EVERY` recorded events, entries older than ``horizon``
+    behind the newest event are discarded. Totals (``bytes_sent`` etc.) are
+    unaffected, and any window query whose ``start`` is at or after
+    ``newest - horizon`` returns exactly the untruncated answer (property
+    test in ``tests/test_sim_metrics.py``); older windows under-count, which
+    is the explicit trade for bounded memory on long runs.
     """
 
     __slots__ = ("name", "bytes_sent", "bytes_received", "messages_sent",
-                 "messages_received", "_sent", "_recv", "record_events")
+                 "messages_received", "_sent", "_recv", "record_events",
+                 "horizon", "_since_truncate")
 
-    def __init__(self, name: str, *, record_events: bool = True) -> None:
+    #: How many recorded events between truncation sweeps (amortises the
+    #: O(dropped) list surgery to O(1) per event).
+    _TRUNCATE_EVERY = 1024
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        record_events: bool = True,
+        horizon: Optional[float] = None,
+    ) -> None:
+        if horizon is not None and horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
         self.name = name
         self.bytes_sent = 0
         self.bytes_received = 0
@@ -344,18 +385,45 @@ class BandwidthMeter:
         self._sent = _EventLog()
         self._recv = _EventLog()
         self.record_events = record_events
+        self.horizon = horizon
+        self._since_truncate = 0
 
     def on_send(self, time: float, size: int) -> None:
         self.bytes_sent += size
         self.messages_sent += 1
         if self.record_events:
             self._sent.append(time, size)
+            if self.horizon is not None:
+                self._maybe_truncate(time)
 
     def on_receive(self, time: float, size: int) -> None:
         self.bytes_received += size
         self.messages_received += 1
         if self.record_events:
             self._recv.append(time, size)
+            if self.horizon is not None:
+                self._maybe_truncate(time)
+
+    def _maybe_truncate(self, time: float) -> None:
+        self._since_truncate += 1
+        if self._since_truncate >= self._TRUNCATE_EVERY:
+            self._since_truncate = 0
+            cutoff = time - self.horizon
+            self._sent.drop_before(cutoff)
+            self._recv.drop_before(cutoff)
+
+    def truncate_now(self) -> None:
+        """Force an immediate truncation sweep (requires ``horizon``)."""
+        if self.horizon is None:
+            raise ValueError("truncate_now() requires a horizon")
+        newest = max(
+            self._sent.times[-1] if self._sent.times else -math.inf,
+            self._recv.times[-1] if self._recv.times else -math.inf,
+        )
+        if newest > -math.inf:
+            self._sent.drop_before(newest - self.horizon)
+            self._recv.drop_before(newest - self.horizon)
+        self._since_truncate = 0
 
     @property
     def total_bytes(self) -> int:
@@ -393,6 +461,7 @@ class BandwidthMeter:
         self.messages_received = 0
         self._sent.clear()
         self._recv.clear()
+        self._since_truncate = 0
 
 
 class MetricsRegistry:

@@ -48,27 +48,42 @@ def approx_size(payload: object) -> int:
     This intentionally avoids actually serialising every message (the
     simulator sends millions); the estimate matches ``len(json.dumps(...))``
     within a few percent for the dict/list/str/number payloads used here.
+
+    The walk is iterative (an explicit stack) rather than recursive: deeply
+    nested payloads cost no Python frames, and the flat loop is measurably
+    faster on the wide-but-shallow dicts that dominate SWIM/RPC traffic.
+    Container framing (braces plus per-item separators) is added when the
+    container is visited; the stack then carries only leaf/child values.
     """
-    if isinstance(payload, SizedPayload):
-        return payload.size
-    if payload is None:
-        return 4
-    if payload is True or payload is False:
-        return 5
-    if isinstance(payload, (int, float)):
-        return 8
-    if isinstance(payload, str):
-        return len(payload) + 2
-    if isinstance(payload, bytes):
-        return len(payload)
-    if isinstance(payload, (list, tuple, set, frozenset)):
-        return 2 + sum(approx_size(item) + 1 for item in payload)
-    if isinstance(payload, dict):
-        return 2 + sum(
-            approx_size(key) + approx_size(value) + 2 for key, value in payload.items()
-        )
-    # Fallback for unexpected objects: size of their repr.
-    return len(repr(payload))
+    total = 0
+    stack = [payload]
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        value = pop()
+        if value is None:
+            total += 4
+        elif value is True or value is False:
+            total += 5
+        elif isinstance(value, (int, float)):
+            total += 8
+        elif isinstance(value, str):
+            total += len(value) + 2
+        elif isinstance(value, SizedPayload):
+            total += value.size
+        elif isinstance(value, bytes):
+            total += len(value)
+        elif isinstance(value, (list, tuple, set, frozenset)):
+            total += 2 + len(value)
+            extend(value)
+        elif isinstance(value, dict):
+            total += 2 + 2 * len(value)
+            extend(value.keys())
+            extend(value.values())
+        else:
+            # Fallback for unexpected objects: size of their repr.
+            total += len(repr(value))
+    return total
 
 
 class Message:
@@ -120,6 +135,11 @@ class Network:
     record_bandwidth_events:
         When ``True`` (default) meters keep per-message timestamped events so
         windows can be measured; disable for very large runs to save memory.
+    bandwidth_horizon:
+        When set, each meter discards recorded events older than this many
+        seconds behind its newest event; window queries that start inside the
+        horizon are unaffected (see :class:`BandwidthMeter`). Bounds memory
+        on long runs that only ever measure recent windows.
     """
 
     def __init__(
@@ -130,12 +150,14 @@ class Network:
         loss_rate: float = 0.0,
         jitter_fraction: float = 0.1,
         record_bandwidth_events: bool = True,
+        bandwidth_horizon: Optional[float] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology if topology is not None else Topology()
         self.loss_rate = loss_rate
         self.jitter_fraction = jitter_fraction
         self.record_bandwidth_events = record_bandwidth_events
+        self.bandwidth_horizon = bandwidth_horizon
         self.metrics = MetricsRegistry()
         self._endpoints: Dict[str, Endpoint] = {}
         #: Last known region per address; kept after unregister so messages
@@ -146,6 +168,19 @@ class Network:
         self._blocked_regions: Set[FrozenSet[str]] = set()
         self._rng = sim.derive_rng("network")
         self._delivery_taps: list[Callable[[Message], None]] = []
+        #: Wire-size table: message kind -> fixed size or callable(payload).
+        self._wire_sizes: Dict[str, object] = {}
+        # The per-message counters are resolved once here instead of through
+        # a registry dict lookup per send/delivery (the two hottest counter
+        # paths in the kernel); ``messages_dropped.<reason>`` counters are
+        # cached on first use since the reason set is tiny.
+        self._messages_sent = self.metrics.counter("messages_sent")
+        self._bytes_sent = self.metrics.counter("bytes_sent")
+        self._messages_delivered = self.metrics.counter("messages_delivered")
+        # Drop counters stay lazily created: a loss-free run's registry should
+        # not grow a zero-valued "messages_dropped" it never had before.
+        self._messages_dropped = None
+        self._drop_reason_counters: Dict[str, object] = {}
 
     # ------------------------------------------------------------ membership
     def register(self, endpoint: Endpoint) -> None:
@@ -172,11 +207,28 @@ class Network:
             raise NetworkError(f"unknown endpoint {address!r}") from None
 
     def meter(self, address: str) -> BandwidthMeter:
-        if address not in self._meters:
-            self._meters[address] = BandwidthMeter(
-                address, record_events=self.record_bandwidth_events
+        meter = self._meters.get(address)
+        if meter is None:
+            meter = BandwidthMeter(
+                address,
+                record_events=self.record_bandwidth_events,
+                horizon=self.bandwidth_horizon,
             )
-        return self._meters[address]
+            self._meters[address] = meter
+        return meter
+
+    # ------------------------------------------------------------- wire sizes
+    def register_message_size(self, kind: str, size) -> None:
+        """Register a precomputed wire size for a message ``kind``.
+
+        ``size`` is either an ``int`` (fixed-shape messages) or a callable
+        ``payload -> int``. It is consulted by :meth:`send` when the caller
+        passes no explicit size, replacing the generic :func:`approx_size`
+        walk for known message shapes. Re-registering a kind overwrites the
+        previous entry; the size must match what ``approx_size`` would have
+        returned if deterministic byte accounting across runs matters.
+        """
+        self._wire_sizes[kind] = size
 
     # ------------------------------------------------------- failure control
     def block(self, address_a: str, address_b: str) -> None:
@@ -228,11 +280,19 @@ class Network:
             if size is None:
                 size = payload.size
             payload = payload.payload
-        wire_size = (size if size is not None else approx_size(payload)) + MESSAGE_OVERHEAD_BYTES
+        if size is None:
+            entry = self._wire_sizes.get(kind)
+            if entry is None:
+                size = approx_size(payload)
+            elif callable(entry):
+                size = entry(payload)
+            else:
+                size = entry
+        wire_size = size + MESSAGE_OVERHEAD_BYTES
         now = self.sim.now
         self.meter(src).on_send(now, wire_size)
-        self.metrics.counter("messages_sent").inc()
-        self.metrics.counter("bytes_sent").inc(wire_size)
+        self._messages_sent.inc()
+        self._bytes_sent.inc(wire_size)
 
         message = Message(kind, payload, src, dst, wire_size, now)
         drop_reason = self._drop_reason(message, sender)
@@ -240,7 +300,9 @@ class Network:
             self._count_drop(drop_reason)
             return
         latency = self._latency(sender, dst)
-        self.sim.schedule(latency, self._deliver, message)
+        # Fire-and-forget: deliveries are never cancelled, so skip the
+        # TimerHandle a plain schedule() would allocate per message.
+        self.sim.post(latency, self._deliver, message)
 
     def _drop_reason(self, message: Message, sender: Endpoint) -> Optional[str]:
         if frozenset((message.src, message.dst)) in self._blocked:
@@ -259,8 +321,16 @@ class Network:
         return None
 
     def _count_drop(self, reason: str) -> None:
-        self.metrics.counter("messages_dropped").inc()
-        self.metrics.counter(f"messages_dropped.{reason}").inc()
+        dropped = self._messages_dropped
+        if dropped is None:
+            dropped = self.metrics.counter("messages_dropped")
+            self._messages_dropped = dropped
+        dropped.inc()
+        counter = self._drop_reason_counters.get(reason)
+        if counter is None:
+            counter = self.metrics.counter(f"messages_dropped.{reason}")
+            self._drop_reason_counters[reason] = counter
+        counter.inc()
 
     def _latency(self, sender: Endpoint, dst: str) -> float:
         receiver = self._endpoints.get(dst)
@@ -282,7 +352,7 @@ class Network:
             self._count_drop("dead_endpoint")
             return
         self.meter(message.dst).on_receive(self.sim.now, message.size)
-        self.metrics.counter("messages_delivered").inc()
+        self._messages_delivered.inc()
         for tap in self._delivery_taps:
             tap(message)
         receiver.handle_message(message)

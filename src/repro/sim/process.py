@@ -103,13 +103,32 @@ class Process:
         return timer
 
     def after(self, delay: float, callback: Callable[..., None], *args: object):
-        """One-shot timer; fires only while the process is running."""
+        """One-shot timer; fires only while the process is running.
+
+        Returns a :class:`~repro.sim.events.TimerHandle` for cancellation.
+        Protocol hot paths that never cancel should prefer :meth:`post`.
+        """
 
         def guarded(*call_args: object) -> None:
             if self.running:
                 callback(*call_args)
 
         return self.sim.schedule(delay, guarded, *args)
+
+    def post(self, delay: float, callback: Callable[..., None], *args: object) -> None:
+        """Fire-and-forget :meth:`after`: no handle, no closure.
+
+        The callback still only fires while the process is running (the
+        running check rides along as event arguments instead of a captured
+        closure), so it is safe for timeouts that may outlive a crash.
+        Scheduling order — and therefore the whole run — is identical to
+        :meth:`after`; only the per-call allocations disappear.
+        """
+        self.sim.post(delay, self._post_fire, callback, args)
+
+    def _post_fire(self, callback: Callable[..., None], args: tuple) -> None:
+        if self.running:
+            callback(*args)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         state = "up" if self.running else "down"

@@ -19,13 +19,46 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, Optional
 
-from repro.sim.network import Message
+from repro.sim.network import Message, approx_size
 
 REQUEST_KIND = "rpc.request"
 RESPONSE_KIND = "rpc.response"
 
 #: Sentinel returned by an RPC server function that will respond later.
 DEFERRED = object()
+
+#: Precomputed envelope cost of the fixed-shape RPC wrapper dicts.
+#:
+#: Both ``{"id", "method", "params"}`` and ``{"id", "method", "result"}``
+#: have three fixed keys (JSON sizes 4/8/8 — "params" and "result" tie at 8)
+#: and two string values whose quote framing is 2 bytes each, so only the
+#: string lengths and the variable third member need computing per message.
+#: Registered with the network's wire-size table so the generic
+#: ``approx_size`` walk never touches the envelope; asserted byte-identical
+#: to the walk in ``tests/test_sim_network.py``.
+_ENVELOPE_SIZE = (
+    2 + 3 * 2  # braces + per-entry separators
+    + approx_size("id") + approx_size("method") + approx_size("params")  # keys
+    + 2 + 2  # quote framing of the two string values
+)
+
+
+def _request_size(payload: Dict[str, object]) -> int:
+    return (
+        _ENVELOPE_SIZE
+        + len(payload["id"])
+        + len(payload["method"])
+        + approx_size(payload["params"])
+    )
+
+
+def _response_size(payload: Dict[str, object]) -> int:
+    return (
+        _ENVELOPE_SIZE
+        + len(payload["id"])
+        + len(payload["method"])
+        + approx_size(payload["result"])
+    )
 
 
 class PendingCall:
@@ -52,6 +85,9 @@ class RpcMixin:
         self._rpc_methods: Dict[str, Callable] = {}
         self.on(REQUEST_KIND, self._rpc_on_request)
         self.on(RESPONSE_KIND, self._rpc_on_response)
+        # Idempotent: every RPC endpoint registers the same two entries.
+        self.network.register_message_size(REQUEST_KIND, _request_size)
+        self.network.register_message_size(RESPONSE_KIND, _response_size)
 
     # ---------------------------------------------------------------- server
     def serve(self, method: str, fn: Callable) -> None:

@@ -262,6 +262,65 @@ class TestBandwidthMeter:
         assert m.received_events() == [(2.0, 20)]
 
 
+class TestBandwidthMeterTruncation:
+    times = st.floats(min_value=0, max_value=1000, allow_nan=False)
+    sizes = st.integers(min_value=0, max_value=10**6)
+    events = st.lists(st.tuples(times, sizes), min_size=1, max_size=300)
+
+    @given(sent=events, received=events, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_recent_windows_agree_with_untruncated_meter(
+        self, sent, received, data
+    ):
+        """Any window starting inside the horizon is truncation-invariant."""
+        horizon = data.draw(st.floats(min_value=1.0, max_value=500.0))
+        plain = BandwidthMeter("plain")
+        ring = BandwidthMeter("ring", horizon=horizon)
+        for t, size in sorted(sent):
+            plain.on_send(t, size)
+            ring.on_send(t, size)
+        for t, size in sorted(received):
+            plain.on_receive(t, size)
+            ring.on_receive(t, size)
+        ring.truncate_now()
+        newest = max(t for t, _ in sent + received)
+        start = data.draw(
+            st.floats(min_value=max(0.0, newest - horizon), max_value=newest)
+        )
+        end = data.draw(st.floats(min_value=start, max_value=1000.0))
+        assert ring.bytes_in_window(start, end) == plain.bytes_in_window(start, end)
+        # Totals never truncate.
+        assert ring.total_bytes == plain.total_bytes
+        assert ring.messages_sent == plain.messages_sent
+
+    def test_truncation_drops_old_events(self):
+        m = BandwidthMeter("m", horizon=10.0)
+        for t in range(100):
+            m.on_send(float(t), 1)
+        m.truncate_now()
+        assert len(m.sent_events()) == 11  # t in [89, 99]
+        assert m.bytes_in_window(89.0, 99.0) == 11
+        assert m.bytes_sent == 100  # totals unaffected
+
+    def test_auto_truncation_bounds_memory(self):
+        m = BandwidthMeter("m", horizon=1.0)
+        step = 1.0 / 256  # 256 events per horizon; sweep every 1024
+        for i in range(20_000):
+            m.on_send(i * step, 1)
+        # Without truncation the log would hold 20k events; with it the log
+        # can never exceed one horizon plus one sweep period of backlog.
+        assert len(m.sent_events()) <= 256 + m._TRUNCATE_EVERY
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BandwidthMeter("m", horizon=0.0)
+
+    def test_truncate_now_requires_horizon(self):
+        m = BandwidthMeter("m")
+        with pytest.raises(ValueError):
+            m.truncate_now()
+
+
 class TestRegistry:
     def test_same_name_same_instance(self):
         r = MetricsRegistry()

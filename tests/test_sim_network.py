@@ -63,6 +63,17 @@ class TestApproxSize:
         actual = len(json.dumps(payload))
         assert abs(approx_size(payload) - actual) < 20
 
+    def test_deep_nesting_does_not_recurse(self):
+        """The iterative walk handles nesting far past the recursion limit."""
+        payload = {"v": 0}
+        for _ in range(5000):
+            payload = {"child": payload, "tag": "x"}
+        assert approx_size(payload) > 5000  # no RecursionError
+
+    def test_sized_payload_nested_inside_container(self):
+        inner = SizedPayload({"big": "blob"}, 1000)
+        assert approx_size([inner, inner]) == 2 + 2 + 1000 + 1000
+
 
 class TestDelivery:
     def test_message_delivered_after_latency(self, sim, network):
@@ -212,6 +223,84 @@ class TestAccounting:
         sim.run_until(1.0)
         network.meter("a").reset()
         assert network.meter("a").bytes_sent == 0
+
+
+class TestCounterCorrectness:
+    """The cached bound-counter fast path must count exactly like the
+    registry lookups it replaced, and resolve to the same objects."""
+
+    def test_cached_counters_are_registry_counters(self, network):
+        assert network._messages_sent is network.metrics.counter("messages_sent")
+        assert network._bytes_sent is network.metrics.counter("bytes_sent")
+        assert network._messages_delivered is network.metrics.counter(
+            "messages_delivered"
+        )
+
+    def test_every_send_and_delivery_counted(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        for _ in range(25):
+            network.send("a", "b", "m", {}, size=40)
+        sim.run_until(5.0)
+        metrics = network.metrics
+        assert metrics.counter("messages_sent").value == 25
+        assert metrics.counter("messages_delivered").value == 25
+        assert metrics.counter("bytes_sent").value == 25 * (
+            40 + MESSAGE_OVERHEAD_BYTES
+        )
+        assert metrics.get_counter("messages_dropped") is None  # lazy: no drops
+
+    def test_drop_reason_counters_cached_and_correct(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        network.block("a", "b")
+        for _ in range(3):
+            network.send("a", "b", "m", {})
+        network.send("a", "ghost", "m", {})
+        sim.run_until(1.0)
+        metrics = network.metrics
+        assert metrics.counter("messages_dropped").value == 4
+        assert metrics.counter("messages_dropped.blocked").value == 3
+        assert metrics.counter("messages_dropped.unknown_destination").value == 1
+        # The cache holds the very objects the registry returns.
+        assert (
+            network._drop_reason_counters["blocked"]
+            is metrics.counter("messages_dropped.blocked")
+        )
+
+
+class TestWireSizeTable:
+    def test_fixed_size_entry_used_when_no_explicit_size(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        network.register_message_size("fixed.kind", 500)
+        network.send("a", "b", "fixed.kind", {"anything": "at all"})
+        assert network.meter("a").bytes_sent == 500 + MESSAGE_OVERHEAD_BYTES
+
+    def test_callable_entry_receives_payload(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        network.register_message_size("var.kind", lambda p: p["n"] * 10)
+        network.send("a", "b", "var.kind", {"n": 7})
+        assert network.meter("a").bytes_sent == 70 + MESSAGE_OVERHEAD_BYTES
+
+    def test_explicit_size_still_wins(self, sim, network):
+        wire(network, "a")
+        wire(network, "b")
+        network.register_message_size("fixed.kind", 500)
+        network.send("a", "b", "fixed.kind", {}, size=5)
+        assert network.meter("a").bytes_sent == 5 + MESSAGE_OVERHEAD_BYTES
+
+    def test_rpc_envelope_sizes_match_generic_walk(self):
+        """The precomputed RPC sizes must be byte-identical to approx_size,
+        or byte accounting would change under the optimization."""
+        from repro.sim.rpc import _request_size, _response_size
+
+        for params in ({}, {"q": "cpu>2", "limit": 10}, [1, 2, 3], None, "s"):
+            payload = {"id": "addr0#17", "method": "focus.query", "params": params}
+            assert _request_size(payload) == approx_size(payload)
+            payload = {"id": "addr0#17", "method": "focus.query", "result": params}
+            assert _response_size(payload) == approx_size(payload)
 
 
 class TestFailureInjection:
