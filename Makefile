@@ -1,15 +1,27 @@
-# Developer entry points. `make check` is what CI runs: the tier-1 suite,
-# the scheduler-equivalence gate (calendar queue + timer wheel must be
-# bit-identical to the reference heap), and a smoke pass of the kernel
-# microbenchmarks (which also re-verifies the hot-path speedups and the
-# seeded-run determinism checksum).
+# Developer entry points. `make check` is what CI runs: lint (when ruff is
+# installed), the tier-1 suite, the scheduler-equivalence gate (calendar
+# queue + timer wheel must be bit-identical to the reference heap), and the
+# benchmark regression gate (a quick kernel-bench smoke pass — which
+# re-verifies the hot-path speedups, the membership-backend equivalence
+# checksum, and the seeded-run determinism checksum — compared against the
+# committed full-mode BENCH_kernel.json).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check test scheduler-equivalence bench-kernel bench-kernel-smoke bench
+.PHONY: check lint test scheduler-equivalence bench-gate bench-kernel \
+        bench-kernel-smoke bench
 
-check: test scheduler-equivalence bench-kernel-smoke
+check: lint test scheduler-equivalence bench-gate
+
+# Gated on availability: ruff is a dev convenience, not a runtime
+# dependency, and the offline test image does not ship it. CI installs it.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "lint: ruff not installed, skipping (pip install ruff)"; \
+	fi
 
 # Also part of `test`; kept as a named gate so scheduler changes can be
 # validated in isolation (and so CI logs show the equivalence pass by name).
@@ -21,6 +33,11 @@ test:
 
 bench-kernel-smoke:
 	$(PYTHON) benchmarks/bench_kernel.py --quick
+
+# Regenerate the quick-mode results and diff them against the committed
+# full-mode baseline; see benchmarks/gate.py for what is compared.
+bench-gate: bench-kernel-smoke
+	$(PYTHON) benchmarks/gate.py
 
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py

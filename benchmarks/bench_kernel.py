@@ -10,8 +10,8 @@ regressions are measurable long after the old code is gone.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/bench_kernel.py            # full, ~1 min
-    PYTHONPATH=src python benchmarks/bench_kernel.py --quick    # smoke, ~10 s
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full, ~8 min
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick    # smoke, ~30 s
 
 Results (ops/sec before/after plus a determinism checksum) are written to
 ``BENCH_kernel.json``.
@@ -20,6 +20,7 @@ Results (ops/sec before/after plus a determinism checksum) are written to
 from __future__ import annotations
 
 import argparse
+import gc
 import hashlib
 import json
 import platform
@@ -27,6 +28,10 @@ import sys
 import time
 from typing import Callable, Dict, List, Tuple
 
+from repro.gossip.agent import SerfAgent, SerfConfig
+from repro.gossip.member import Member, MemberState
+from repro.gossip.membership import NodeDirectory
+from repro.gossip.probe import RegionProbeBatcher
 from repro.gossip.swim import SwimAgent, SwimConfig
 from repro.sim import Network, Simulator, Topology
 from repro.sim.metrics import BandwidthMeter, Histogram, TimeSeries
@@ -380,22 +385,154 @@ def bench_timer_storm(quick: bool) -> Dict[str, object]:
     }
 
 
-def bench_scale_sweep(quick: bool) -> Dict[str, object]:
-    """First sweep past the paper's 1600-node ceiling: wall-clock cost of
-    ten simulated seconds of SWIM-density timers on the default scheduler."""
-    sizes = [400, 1600] if quick else [400, 1600, 3200, 6400]
-    duration = 2.0 if quick else 10.0
-    points = {}
-    for nodes in sizes:
-        events, rate = _best_rate(
-            1, lambda: _timer_density_run("calendar", True, nodes, duration)
+#: Pre-PR full-protocol throughput at 6400 nodes (dict membership, one timer
+#: per agent per cadence), measured on unmodified HEAD with the exact
+#: ``_swim_full_run`` workload below. The vectorized-membership PR's
+#: acceptance bar is >=2x this number on the same workload.
+PR3_SWIM_FULL_6400_BASELINE = 5_865.0
+
+#: Times at which the sweep's group-wide queries fire (simulated seconds).
+_SWEEP_QUERY_TIMES = (0.5, 1.5, 2.5)
+
+
+def _swim_full_run(
+    nodes: int, duration: float, membership: str, batched: bool
+) -> Tuple[int, float, str]:
+    """One full-protocol run: every node probes, gossips, syncs, and answers
+    group-wide queries for ``duration`` simulated seconds.
+
+    The workload is frozen — the committed ``PR3_SWIM_FULL_6400_BASELINE``
+    was measured with exactly this setup, so any edit here invalidates the
+    constant. The full mesh is pre-seeded (the paper's converged steady
+    state) outside the timed region so the sweep measures protocol
+    operation, not an O(N^2) join storm. Returns
+    ``(events, elapsed_seconds, checksum)``; the checksum digests event
+    counts, query completions, metrics counters, and one agent's bandwidth
+    meter, and must be identical across membership backends.
+    """
+    sim = Simulator(seed=13)
+    topology = Topology()
+    network = Network(sim, topology)
+    regions = [r.name for r in topology.regions]
+    config = SerfConfig(sync_interval=30.0)
+    directory = NodeDirectory() if membership == "table" else None
+    batcher = RegionProbeBatcher(sim, config.probe_interval) if batched else None
+    agents = []
+    for i in range(nodes):
+        agent = SerfAgent(
+            sim, network, f"n{i}", f"a{i}", regions[i % len(regions)], config,
+            membership=membership, directory=directory, probe_batcher=batcher,
         )
-        points[str(nodes)] = {
+        agents.append(agent)
+    for agent in agents:
+        for other in agents:
+            if other is not agent:
+                agent.members.upsert(
+                    Member(other.name, other.address, other.region,
+                           incarnation=0, state=MemberState.ALIVE,
+                           state_time=0.0)
+                )
+    completions: List[int] = []
+    for agent in agents:
+        agent.on_query(
+            "sweep.load", lambda payload, origin, a=agent: {"n": a.name}
+        )
+        agent.start()
+    for qi, at in enumerate(_SWEEP_QUERY_TIMES):
+        if at >= duration:
+            break
+        origin = agents[(qi * 997) % nodes]
+        sim.schedule_at(
+            at,
+            lambda o=origin, qi=qi: o.query(
+                "sweep.load", {"q": qi}, lambda r: completions.append(len(r))
+            ),
+        )
+    start = time.perf_counter()
+    sim.run_until(duration)
+    elapsed = time.perf_counter() - start
+    summary = {
+        "events": sim.events_processed,
+        "completions": completions,
+        "counters": {
+            name: network.metrics.counter(name).value
+            for name in network.metrics.names()["counters"]
+        },
+        "meter0": network.meter("a0").bytes_in_window(0.0, duration),
+    }
+    checksum = hashlib.sha256(
+        json.dumps(summary, sort_keys=True).encode()
+    ).hexdigest()
+    return sim.events_processed, elapsed, checksum
+
+
+def bench_swim_full(quick: bool) -> Dict[str, object]:
+    """Full-protocol A/B: dict membership + per-agent timers (the pre-PR
+    configuration, kept alive as the naive reference) against the vectorized
+    MembershipTable + per-region probe batching. Both arms must produce the
+    same checksum — same events, same query completions, same bytes on the
+    wire — before either time is worth reporting."""
+    nodes = 400 if quick else 1600
+    duration = 3.0
+    naive_events, naive_elapsed, naive_ck = _swim_full_run(
+        nodes, duration, "dict", False
+    )
+    opt_events, opt_elapsed, opt_ck = _swim_full_run(
+        nodes, duration, "table", True
+    )
+    assert naive_ck == opt_ck, (
+        f"membership equivalence broken: {naive_ck[:16]} != {opt_ck[:16]}"
+    )
+    return {
+        "nodes": nodes,
+        "events": opt_events,
+        "naive_ops_per_sec": naive_events / naive_elapsed,
+        "optimized_ops_per_sec": opt_events / opt_elapsed,
+        "speedup": (opt_events / opt_elapsed) / (naive_events / naive_elapsed),
+        "checksum": opt_ck,
+    }
+
+
+def bench_scale_sweep(quick: bool) -> Dict[str, object]:
+    """Sweep past the paper's 1600-node ceiling, two workloads per size:
+    ``timer_storm`` (SWIM-density timers only, the PR 2 sweep) and
+    ``swim_full`` (the complete protocol — probes, piggyback gossip,
+    suspicion, push-pull sync, and group-wide queries — on the vectorized
+    membership + region-batched probes)."""
+    timer_sizes = [400, 1600] if quick else [400, 1600, 3200, 6400]
+    swim_sizes = [400] if quick else [1600, 3200, 6400]
+    timer_duration = 2.0 if quick else 10.0
+    swim_duration = 3.0
+    timer_points = {}
+    for nodes in timer_sizes:
+        events, rate = _best_rate(
+            1, lambda: _timer_density_run("calendar", True, nodes, timer_duration)
+        )
+        timer_points[str(nodes)] = {
             "events": events,
             "ops_per_sec": rate,
-            "sim_seconds_per_wall_second": duration / (events / rate),
+            "sim_seconds_per_wall_second": timer_duration / (events / rate),
         }
-    return {"duration": duration, "points": points}
+    swim_points = {}
+    for nodes in swim_sizes:
+        gc.collect()  # previous point's agents must not tax this one's GC
+        events, elapsed, checksum = _swim_full_run(
+            nodes, swim_duration, "table", True
+        )
+        swim_points[str(nodes)] = {
+            "events": events,
+            "ops_per_sec": events / elapsed,
+            "sim_seconds_per_wall_second": swim_duration / elapsed,
+            "checksum": checksum,
+        }
+    return {
+        "timer_storm": {"duration": timer_duration, "points": timer_points},
+        "swim_full": {
+            "duration": swim_duration,
+            "points": swim_points,
+            "pr3_baseline_6400_ops_per_sec": PR3_SWIM_FULL_6400_BASELINE,
+        },
+    }
 
 
 def determinism_checksum() -> str:
@@ -437,6 +574,7 @@ BENCHES = {
     "send_repeated_payload": bench_send_fanout,
     "event_loop": bench_event_loop,
     "timer_storm": bench_timer_storm,
+    "swim_full": bench_swim_full,
     "scale_sweep": bench_scale_sweep,
 }
 
@@ -459,17 +597,22 @@ def main(argv=None) -> int:
     results: Dict[str, object] = {}
     names = [args.only] if args.only else list(BENCHES)
     for name in names:
+        # Collect the previous workload's garbage up front so a later bench
+        # doesn't pay gen2 passes over a dead 6400-agent simulation.
+        gc.collect()
         result = BENCHES[name](args.quick)
         results[name] = result
         if "speedup" in result:
             print(f"{name:26s} {result['naive_ops_per_sec']:>12.0f} -> "
                   f"{result['optimized_ops_per_sec']:>12.0f} ops/s "
                   f"({result['speedup']:.1f}x)")
-        elif "points" in result:
-            for nodes, point in result["points"].items():
-                print(f"{name:26s} {nodes:>5s} nodes "
-                      f"{point['ops_per_sec']:>12.0f} ops/s "
-                      f"({point['sim_seconds_per_wall_second']:.1f}x real time)")
+        elif name == "scale_sweep":
+            for workload, sweep in result.items():
+                for nodes, point in sweep["points"].items():
+                    print(f"{workload:26s} {nodes:>5s} nodes "
+                          f"{point['ops_per_sec']:>12.0f} ops/s "
+                          f"({point['sim_seconds_per_wall_second']:.2f}x "
+                          f"real time)")
         else:
             print(f"{name:26s} {result['ops_per_sec']:>12.0f} ops/s")
 
@@ -512,6 +655,19 @@ def main(argv=None) -> int:
                   f"({PR1_EVENT_LOOP_BASELINE:.0f} ops/s); need >=2x",
                   file=sys.stderr)
             return 1
+    # Acceptance bar for the vectorized-membership PR: the 6400-node
+    # full-protocol sweep must clear 2x the committed pre-PR throughput.
+    # Full mode only — quick mode stops the sweep at 400 nodes.
+    if not args.quick and "scale_sweep" in results:
+        sweep = results["scale_sweep"]["swim_full"]["points"]
+        if "6400" in sweep:
+            ratio = sweep["6400"]["ops_per_sec"] / PR3_SWIM_FULL_6400_BASELINE
+            if ratio < 2.0:
+                print(f"FAIL: swim_full at 6400 nodes is only "
+                      f"{ratio:.2f}x the PR 3 baseline "
+                      f"({PR3_SWIM_FULL_6400_BASELINE:.0f} ev/s); need >=2x",
+                      file=sys.stderr)
+                return 1
     if not deterministic:
         print("FAIL: seeded run is not deterministic", file=sys.stderr)
         return 1

@@ -1,0 +1,163 @@
+"""Benchmark regression gate: compare a fresh quick-mode kernel benchmark
+run against the committed full-mode baseline.
+
+Usage (CI runs this via ``make bench-gate``, which regenerates the quick
+file first)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick
+    python benchmarks/gate.py
+
+The two files measure different population sizes (quick mode shrinks every
+workload so it finishes in seconds), so raw ops/sec are **not** comparable
+across them and are never compared here. What the gate checks is the set of
+invariants that hold on any machine at any size:
+
+* the seeded determinism checksum — a sha256 over a fixed 6-node SWIM run's
+  event count, metrics counters, and bandwidth meters — must be byte-equal
+  between the quick run and the committed baseline, and stable within each;
+* every benchmark recorded in the baseline must still exist (a bench that
+  silently vanishes from the harness is a regression too);
+* the relative speedups (optimized vs in-tree naive reference, same machine,
+  same run) must not collapse: each quick-mode speedup must stay above a
+  generous fraction of the committed full-mode speedup. The band is wide
+  because CI machines are noisy and quick mode's smaller inputs flatter the
+  naive arms — the gate exists to catch an optimization being disabled
+  (a 700x speedup falling to 1x), not a 20% wobble;
+* the committed baseline itself must still honor the PR acceptance bars it
+  was committed with (event_loop >= 2x the PR 1 constant, swim_full at 6400
+  nodes >= 2x the PR 3 constant).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+#: Quick-mode speedup must be at least this fraction of the committed
+#: full-mode speedup. Deliberately loose — see module docstring.
+SPEEDUP_FLOOR_FRACTION = 0.10
+
+#: Speedups this close to 1x carry no signal (the optimized and naive arms
+#: are within noise of each other at quick-mode sizes), so the fractional
+#: band is not applied below it.
+SPEEDUP_NOISE_CEILING = 2.0
+
+
+def load(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check(baseline: Dict[str, object], candidate: Dict[str, object]) -> List[str]:
+    failures: List[str] = []
+
+    if baseline.get("quick"):
+        failures.append("baseline file was produced by a --quick run; "
+                        "the committed BENCH_kernel.json must be full-mode")
+    if not candidate.get("quick"):
+        failures.append("candidate file is not a --quick run; "
+                        "regenerate it with bench_kernel.py --quick")
+
+    base_det = baseline.get("determinism", {})
+    cand_det = candidate.get("determinism", {})
+    for label, det in (("baseline", base_det), ("candidate", cand_det)):
+        if not det.get("stable"):
+            failures.append(f"{label} seeded run was not deterministic")
+    if base_det.get("checksum") != cand_det.get("checksum"):
+        failures.append(
+            "determinism checksum drifted: baseline "
+            f"{str(base_det.get('checksum'))[:16]}… vs candidate "
+            f"{str(cand_det.get('checksum'))[:16]}… — the seeded 6-node SWIM "
+            "run no longer produces the committed event/byte totals"
+        )
+
+    base_results = baseline.get("results", {})
+    cand_results = candidate.get("results", {})
+    for name in base_results:
+        if name not in cand_results:
+            failures.append(f"benchmark '{name}' present in baseline but "
+                            "missing from the candidate run")
+
+    for name, base in base_results.items():
+        cand = cand_results.get(name)
+        if cand is None or "speedup" not in base or "speedup" not in cand:
+            continue
+        if base["speedup"] < SPEEDUP_NOISE_CEILING:
+            continue
+        # Quick mode shrinks every workload, and the naive arms are mostly
+        # superlinear, so quick-mode speedups are legitimately far smaller
+        # than full-mode ones. Capping the floor at the noise ceiling keeps
+        # the check meaningful (a disabled optimization reads ~1x) without
+        # tying it to workload size.
+        floor = min(base["speedup"] * SPEEDUP_FLOOR_FRACTION,
+                    SPEEDUP_NOISE_CEILING)
+        if cand["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup collapsed to {cand['speedup']:.1f}x "
+                f"(baseline {base['speedup']:.1f}x, floor {floor:.1f}x)"
+            )
+
+    sweep = base_results.get("scale_sweep", {})
+    cand_sweep = cand_results.get("scale_sweep", {})
+    for workload in sweep:
+        if workload not in cand_sweep:
+            failures.append(f"scale_sweep workload '{workload}' missing from "
+                            "the candidate run")
+
+    # Re-assert the committed acceptance bars against the baseline file, so a
+    # stale or hand-edited baseline cannot hide a regression behind the gate.
+    event_loop = base_results.get("event_loop", {})
+    ratio = event_loop.get("speedup_vs_pr1_baseline")
+    if ratio is not None and ratio < 2.0:
+        failures.append(f"baseline event_loop is only {ratio:.2f}x the PR 1 "
+                        "constant; need >=2x")
+    swim = sweep.get("swim_full", {})
+    point = swim.get("points", {}).get("6400")
+    pr3 = swim.get("pr3_baseline_6400_ops_per_sec")
+    if point is not None and pr3:
+        ratio = point["ops_per_sec"] / pr3
+        if ratio < 2.0:
+            failures.append(f"baseline swim_full at 6400 nodes is only "
+                            f"{ratio:.2f}x the PR 3 constant; need >=2x")
+
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_kernel.json",
+                        help="committed full-mode results (default: "
+                             "BENCH_kernel.json)")
+    parser.add_argument("--candidate", default="BENCH_kernel.quick.json",
+                        help="fresh quick-mode results (default: "
+                             "BENCH_kernel.quick.json)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load(args.baseline)
+    except OSError as exc:
+        print(f"gate: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        candidate = load(args.candidate)
+    except OSError as exc:
+        print(f"gate: cannot read candidate {args.candidate}: {exc} "
+              "(run: PYTHONPATH=src python benchmarks/bench_kernel.py --quick)",
+              file=sys.stderr)
+        return 1
+
+    failures = check(baseline, candidate)
+    if failures:
+        for failure in failures:
+            print(f"gate FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"gate OK: {args.candidate} is consistent with {args.baseline} "
+          f"(checksum {str(candidate['determinism']['checksum'])[:16]}…)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

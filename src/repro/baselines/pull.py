@@ -7,7 +7,7 @@ pattern the paper rules out (§III-B1).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.baselines.base import BaselineNode, NodeFinder
 from repro.core.query import Query

@@ -15,7 +15,7 @@ The paper's evaluation schema (§X-A) is exposed as :func:`openstack_schema`:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional
 
 from repro.errors import GroupError

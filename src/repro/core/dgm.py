@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.groups import GroupInfo, GroupMember, GroupTable, serf_address
+from repro.core.groups import GroupInfo, GroupMember, GroupTable
 from repro.core.registrar import NodeRecord
 
 

@@ -10,7 +10,7 @@ representative reports after a DGM failure (§VIII-A2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import GroupError

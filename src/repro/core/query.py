@@ -13,7 +13,7 @@ Static attributes may also match by equality on strings (e.g.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from repro.errors import QueryError
 

@@ -9,8 +9,8 @@ never traverse — and are never cached by — the server).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 from repro.core.query import Query
 from repro.sim.loop import Simulator

@@ -13,6 +13,8 @@ from repro.gossip.agent import SerfAgent, SerfConfig
 from repro.gossip.broadcast import Broadcast, BroadcastQueue
 from repro.gossip.coalesce import EventCoalescer
 from repro.gossip.member import Member, MemberList, MemberState
+from repro.gossip.membership import MembershipTable, NodeDirectory
+from repro.gossip.probe import RegionProbeBatcher
 from repro.gossip.swim import SwimAgent, SwimConfig
 
 __all__ = [
@@ -22,6 +24,9 @@ __all__ = [
     "Member",
     "MemberList",
     "MemberState",
+    "MembershipTable",
+    "NodeDirectory",
+    "RegionProbeBatcher",
     "SerfAgent",
     "SerfConfig",
     "SwimAgent",

@@ -18,6 +18,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.sim.loop import Simulator
 from repro.sim.network import Message, Network
+from repro.gossip.membership import NodeDirectory
+from repro.gossip.probe import RegionProbeBatcher
 from repro.gossip.swim import SwimAgent, SwimConfig
 
 QUERY_RESPONSE = "serf.query-resp"
@@ -36,7 +38,15 @@ class SerfConfig(SwimConfig):
 class QueryCollector:
     """Aggregates direct responses for one in-flight group query."""
 
-    __slots__ = ("query_id", "expected", "responses", "on_complete", "finished", "started_at")
+    __slots__ = (
+        "query_id",
+        "expected",
+        "missing",
+        "responses",
+        "on_complete",
+        "finished",
+        "started_at",
+    )
 
     def __init__(
         self,
@@ -47,6 +57,7 @@ class QueryCollector:
     ) -> None:
         self.query_id = query_id
         self.expected = set(expected)
+        self.missing = set(self.expected)
         self.responses: Dict[str, object] = {}
         self.on_complete = on_complete
         self.finished = False
@@ -54,10 +65,13 @@ class QueryCollector:
 
     def add(self, member_name: str, payload: object) -> None:
         self.responses[member_name] = payload
+        self.missing.discard(member_name)
 
     @property
     def complete(self) -> bool:
-        return self.expected.issubset(self.responses.keys())
+        # Tracked incrementally: a subset check per response would make a
+        # full-group query O(n^2) in the group size.
+        return not self.missing
 
     def finish(self) -> None:
         if self.finished:
@@ -77,8 +91,22 @@ class SerfAgent(SwimAgent):
         address: str,
         region: str,
         config: Optional[SerfConfig] = None,
+        *,
+        membership: str = "table",
+        directory: Optional[NodeDirectory] = None,
+        probe_batcher: Optional[RegionProbeBatcher] = None,
     ) -> None:
-        super().__init__(sim, network, name, address, region, config or SerfConfig())
+        super().__init__(
+            sim,
+            network,
+            name,
+            address,
+            region,
+            config or SerfConfig(),
+            membership=membership,
+            directory=directory,
+            probe_batcher=probe_batcher,
+        )
         self.event_handlers: Dict[str, Callable[[object, str], None]] = {}
         self.query_handlers: Dict[str, Callable[[object, str], object]] = {}
         self._event_seq = 0

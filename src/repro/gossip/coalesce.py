@@ -8,11 +8,14 @@ while preserving the final state.
 
 Usage::
 
-    coalescer = EventCoalescer(sim, window=0.5)
+    coalescer = EventCoalescer(sim, window=0.5, quiescence=0.1)
     agent.on_event("state-change", coalescer.wrap(handler, key=lambda p, o: o))
 
 The ``key`` function buckets events; within a window only the newest payload
-per bucket is delivered, when the window closes.
+per bucket is delivered, when the window closes. ``quiescence`` mirrors
+Serf's ``quiescentPeriod``: when the burst dies down — no new event for that
+long — the window flushes early instead of holding the final state back for
+the rest of the (much longer) coalescing period.
 """
 
 from __future__ import annotations
@@ -25,14 +28,28 @@ from repro.sim.loop import Simulator
 class EventCoalescer:
     """Coalesces handler invocations over a fixed window."""
 
-    def __init__(self, sim: Simulator, *, window: float = 0.5) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        window: float = 0.5,
+        quiescence: Optional[float] = None,
+    ) -> None:
         if window <= 0:
             raise ValueError("coalescing window must be positive")
+        if quiescence is not None and not 0 < quiescence < window:
+            raise ValueError("quiescence must fall inside the window")
         self.sim = sim
         self.window = window
+        self.quiescence = quiescence
         #: Buckets currently holding back events: key -> (payload, origin).
         self._pending: Dict[Hashable, Tuple[object, str]] = {}
         self._flush_scheduled = False
+        #: Bumped on every flush so stale fire-and-forget callbacks (the
+        #: hard deadline after an early quiescent flush, or superseded
+        #: quiescence checks) recognise themselves and do nothing.
+        self._epoch = 0
+        self._last_event_at = 0.0
         self._handler: Optional[Callable[[object, str], None]] = None
         self._key: Optional[Callable[[object, str], Hashable]] = None
         self.delivered = 0
@@ -59,15 +76,35 @@ class EventCoalescer:
             if bucket in self._pending:
                 self.coalesced += 1
             self._pending[bucket] = (payload, origin)
+            self._last_event_at = self.sim.now
             if not self._flush_scheduled:
                 self._flush_scheduled = True
-                # Fire-and-forget: flushes are never cancelled.
-                self.sim.post(self.window, self._flush)
+                # Fire-and-forget: flushes are never cancelled, just
+                # ignored when their epoch has already been flushed.
+                self.sim.post(self.window, self._flush_deadline, self._epoch)
+            if self.quiescence is not None:
+                self.sim.post(self.quiescence, self._flush_if_quiet, self._epoch)
 
         return on_event
 
+    def _flush_deadline(self, epoch: int) -> None:
+        if epoch == self._epoch:
+            self._flush()
+
+    def _flush_if_quiet(self, epoch: int) -> None:
+        """Early flush when the burst has gone quiet (Serf's quiescentPeriod).
+
+        Each event schedules one of these; all but the last arrive to find a
+        newer event inside their quiescence span and stand down.
+        """
+        if epoch != self._epoch:
+            return
+        if self.sim.now - self._last_event_at >= self.quiescence:  # type: ignore[operator]
+            self._flush()
+
     def _flush(self) -> None:
         self._flush_scheduled = False
+        self._epoch += 1
         pending, self._pending = self._pending, {}
         for payload, origin in pending.values():
             self.delivered += 1

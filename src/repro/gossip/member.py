@@ -9,7 +9,8 @@ itself by bumping its incarnation and re-broadcasting ``alive``.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterator, List, Optional
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 class MemberState(str, enum.Enum):
@@ -102,6 +103,7 @@ class MemberList:
         self._members: Dict[str, Member] = {}
         self._alive_cache: Optional[List[Member]] = None
         self._alive_count = 0
+        self._suspicion_deadlines: Dict[str, float] = {}
 
     def __contains__(self, name: str) -> bool:
         return name in self._members
@@ -130,6 +132,7 @@ class MemberList:
     def remove(self, name: str) -> None:
         old = self._members.pop(name, None)
         self._count_delta(old, None)
+        self._suspicion_deadlines.pop(name, None)
         self._alive_cache = None
 
     def apply(self, update: Member) -> bool:
@@ -177,3 +180,75 @@ class MemberList:
     def snapshot_size(self) -> int:
         """Estimated wire size of :meth:`snapshot_wire`."""
         return 2 + sum(m.wire_size() + 1 for m in self._members.values())
+
+    # ----------------------------------------------------- selection helpers
+    # Shared backend API with repro.gossip.membership.MembershipTable: the
+    # SWIM agent only ever selects peers through these, so swapping the
+    # backend cannot perturb the RNG draw sequence. Each helper makes at
+    # most one rng draw, over the insertion-ordered alive view.
+    def peek(self, name: str) -> Optional[Tuple[int, str]]:
+        """``(incarnation, state value)`` or None, without a Member copy."""
+        member = self._members.get(name)
+        if member is None:
+            return None
+        return member.incarnation, member.state.value
+
+    def gossip_targets(self, rng: random.Random, max_fanout: int) -> List[str]:
+        """Addresses of up to ``max_fanout`` random alive peers."""
+        peers = self.alive(exclude_self=True)
+        if not peers:
+            return []
+        sampled = rng.sample(peers, min(max_fanout, len(peers)))
+        return [member.address for member in sampled]
+
+    def sync_peer(self, rng: random.Random) -> Optional[str]:
+        """Address of one random alive peer for push-pull anti-entropy."""
+        peers = self.alive(exclude_self=True)
+        if not peers:
+            return None
+        return rng.choice(peers).address
+
+    def relay_sample(
+        self, rng: random.Random, count: int, exclude_name: str
+    ) -> List[str]:
+        """Addresses of up to ``count`` relays for an indirect probe."""
+        relays = [
+            member
+            for member in self.alive(exclude_self=True)
+            if member.name != exclude_name
+        ]
+        if not relays:
+            return []
+        sampled = rng.sample(relays, min(count, len(relays)))
+        return [member.address for member in sampled]
+
+    def filter_superseding(
+        self, updates: Sequence[Dict[str, object]]
+    ) -> Sequence[Dict[str, object]]:
+        """Reference backend: no prefilter, the apply loop drops stale ones."""
+        return updates
+
+    def expire_dead(self, cutoff: float) -> int:
+        """Reclaim dead/left records older than ``cutoff``; returns count."""
+        stale = [
+            member.name
+            for member in self._members.values()
+            if member.state in (MemberState.DEAD, MemberState.LEFT)
+            and member.state_time < cutoff
+        ]
+        for name in stale:
+            self.remove(name)
+        return len(stale)
+
+    def set_suspicion_deadline(self, name: str, deadline: float) -> None:
+        self._suspicion_deadlines[name] = deadline
+
+    def due_suspects(self, now: float) -> List[str]:
+        """Names of suspects whose suspicion deadline has passed."""
+        deadlines = self._suspicion_deadlines
+        return [
+            member.name
+            for member in self._members.values()
+            if member.state == MemberState.SUSPECT
+            and deadlines.get(member.name, float("inf")) <= now
+        ]

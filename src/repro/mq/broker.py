@@ -24,7 +24,7 @@ which gives ``per_message_cpu ≈ 0.12 ms`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.errors import BrokerError

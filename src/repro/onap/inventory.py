@@ -8,7 +8,7 @@ and full sites, because it cannot see current capacity at all.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.onap.homing import HomingPlan, VcpeCustomer
 from repro.onap.models import CloudSite, VgMuxInstance, distance_miles

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict
 
 from repro.core.attributes import AttributeKind, AttributeSchema, AttributeSpec
 

@@ -18,7 +18,7 @@ Two interchangeable backends provide ``get_by_requests``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.core.query import Query, QueryTerm
 from repro.core.rest import FocusClient

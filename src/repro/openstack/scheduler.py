@@ -14,7 +14,7 @@ The flow reproduced end-to-end:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.openstack.placement import Candidate, PlacementRequest

@@ -267,6 +267,20 @@ class TimerWheel:
         if cls is not None and cls.scheduled and cls.target == timer._pending:
             self._retarget(cls)
 
+    def _reap(self, cls: _IntervalClass) -> None:
+        """Drop an emptied interval class so churning intervals don't leak.
+
+        Called wherever a class's member heap drains (all timers stopped or
+        migrated away via ``set_interval``). A later ``add`` for the same
+        interval simply recreates the class, so reaping is invisible to
+        timers — it only bounds ``_classes`` by the number of *live* distinct
+        intervals instead of every interval ever seen.
+        """
+        if not cls.heap:
+            current = self._classes.get(cls.interval)
+            if current is cls:
+                del self._classes[cls.interval]
+
     def _fire_class(self, cls: _IntervalClass) -> None:
         """Sentinel callback: fire the one due member, re-arm, re-aim.
 
@@ -285,6 +299,7 @@ class TimerWheel:
             if not heap:  # pragma: no cover - sentinel is re-aimed on head stop
                 cls.scheduled = False
                 cls.target = None
+                self._reap(cls)
                 return
         # Re-arm before the callback, exactly like RepeatingTimer._fire: the
         # jitter draw and seq allocation happen at the same moments they
@@ -326,6 +341,7 @@ class TimerWheel:
             return
         cls.scheduled = False
         cls.target = None
+        self._reap(cls)
         timer._callback()
 
     def _rearm_into_new_class(
@@ -360,6 +376,7 @@ class TimerWheel:
                 cls.event = None
                 cls.scheduled = False
             cls.target = None
+            self._reap(cls)
             return
         key = (time, seq)
         if cls.scheduled:

@@ -11,7 +11,7 @@ the store's quorum behaviour and SWIM's suspicion mechanism.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Optional, Protocol, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Protocol, Set
 
 from repro.errors import NetworkError
 from repro.sim.loop import Simulator

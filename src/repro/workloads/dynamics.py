@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.core.attributes import AttributeSchema, openstack_schema
 from repro.sim.loop import Simulator

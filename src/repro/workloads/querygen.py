@@ -11,7 +11,7 @@ Four categories:
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional
 
 from repro.core.query import Query, QueryTerm
 

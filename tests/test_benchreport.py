@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.harness.benchreport import extract_tables, main, to_markdown
 

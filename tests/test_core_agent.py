@@ -1,6 +1,5 @@
 """Tests for node-agent behaviours: moves, representatives, collectors."""
 
-import pytest
 
 from repro.core.config import FocusConfig
 from repro.core.query import Query, QueryTerm

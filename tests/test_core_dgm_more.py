@@ -1,6 +1,5 @@
 """Deeper DGM tests: forks, geo splits, transitions, store sync, recovery."""
 
-import pytest
 
 from repro.core.config import FocusConfig
 from repro.harness import build_focus_cluster, drain

@@ -1,6 +1,5 @@
 """Tests for the §XII extensions: per-group fanout and normalizers."""
 
-import pytest
 
 from repro.core.attributes import AttributeKind, AttributeSchema, AttributeSpec
 from repro.core.config import FocusConfig

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.config import FocusConfig
 from repro.core.query import Query, QueryTerm
 from repro.harness import build_focus_cluster, drain, run_query
 

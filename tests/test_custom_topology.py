@@ -1,6 +1,5 @@
 """FOCUS over non-default topologies: two regions, single region, edge sites."""
 
-import pytest
 
 from repro.core.query import Query, QueryTerm
 from repro.harness import build_focus_cluster, drain, run_query

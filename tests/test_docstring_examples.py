@@ -8,7 +8,6 @@ the docs can't drift from the API.
 import re
 import pathlib
 
-import pytest
 
 
 class TestPackageDocstring:

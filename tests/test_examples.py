@@ -7,7 +7,6 @@ doubles as an integration test of the documented workflows).
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

@@ -76,6 +76,54 @@ class TestCoalescer:
         with pytest.raises(ValueError):
             EventCoalescer(sim, window=0.0)
 
+    def test_quiescence_must_fit_in_window(self, sim):
+        with pytest.raises(ValueError):
+            EventCoalescer(sim, window=0.5, quiescence=0.5)
+        with pytest.raises(ValueError):
+            EventCoalescer(sim, window=0.5, quiescence=0.0)
+
+    def test_quiet_burst_flushes_early(self, sim):
+        coalescer = EventCoalescer(sim, window=10.0, quiescence=0.2)
+        seen = []
+        handler = coalescer.wrap(lambda p, o: seen.append(p["v"]))
+        handler({"v": 1}, "a")
+        handler({"v": 2}, "a")
+        # The burst is over; the handler should fire one quiescence span
+        # after the last event, not at the 10 s hard deadline.
+        sim.run_until(0.19)
+        assert seen == []
+        sim.run_until(0.3)
+        assert seen == [2]
+
+    def test_steady_stream_still_flushes_at_deadline(self, sim):
+        coalescer = EventCoalescer(sim, window=1.0, quiescence=0.3)
+        seen = []
+        handler = coalescer.wrap(lambda p, o: seen.append(p["v"]))
+        # Events every 0.24 s never go quiet, so only the window deadline
+        # can flush — the quiescent flush must not starve forever nor fire
+        # mid-stream.
+        for i in range(10):
+            sim.schedule(i * 0.24, handler, {"v": i}, "a")
+        sim.run_until(0.99)
+        assert seen == []
+        sim.run_until(1.1)
+        assert seen == [4]  # events 0-4 fell inside the first window
+
+    def test_stale_deadline_after_early_flush_is_inert(self, sim):
+        coalescer = EventCoalescer(sim, window=1.0, quiescence=0.2)
+        seen = []
+        handler = coalescer.wrap(lambda p, o: seen.append(p["v"]))
+        handler({"v": 1}, "a")
+        sim.run_until(0.5)  # quiescent flush fired at 0.2
+        assert seen == [1]
+        handler({"v": 2}, "a")  # second window opens at 0.5
+        sim.run_until(2.0)
+        # The first window's 1.0 s hard deadline (still queued when the
+        # early flush ran) must not deliver the second window's event early
+        # or twice.
+        assert seen == [1, 2]
+        assert coalescer.delivered == 2
+
 
 class TestWithSerf:
     def test_coalesces_gossip_event_storm(self, sim, network, regions):

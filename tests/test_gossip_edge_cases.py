@@ -1,6 +1,5 @@
 """SWIM/Serf edge cases: churn, rejoin, conflicting updates, piggyback."""
 
-import pytest
 
 from repro.gossip import SerfAgent, SerfConfig, SwimAgent, SwimConfig
 from repro.gossip.member import Member, MemberState

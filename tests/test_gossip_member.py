@@ -1,6 +1,5 @@
 """Unit and property tests for membership records and SWIM ordering rules."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.gossip.member import (

@@ -1,6 +1,5 @@
 """Integration tests for the SWIM protocol."""
 
-import pytest
 
 from repro.gossip import SwimAgent, SwimConfig
 from repro.gossip.member import MemberState

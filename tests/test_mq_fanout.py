@@ -1,6 +1,5 @@
 """Broker fan-out cost accounting: a fanout publish is N deliveries of work."""
 
-import pytest
 
 from repro.mq import Broker, BrokerConfig, Consumer
 from repro.sim.network import approx_size

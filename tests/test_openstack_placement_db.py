@@ -5,7 +5,6 @@ import pytest
 from repro.mq import Broker
 from repro.openstack import ComputeHost, FakeLibvirt, PlacementRequest, VirtualMachine
 from repro.openstack.placement import (
-    Candidate,
     DbAllocationCandidates,
     RESOURCE_ATTRIBUTES,
     _candidates_from_matches,

@@ -1,6 +1,5 @@
 """Tests for the application-side client (REST equivalent) and delegation."""
 
-import pytest
 
 from repro.core.config import FocusConfig
 from repro.core.query import Query, QueryTerm

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import NetworkError
-from repro.sim import Network, Simulator, Topology, approx_size
+from repro.sim import Network, Topology, approx_size
 from repro.sim.network import MESSAGE_OVERHEAD_BYTES, SizedPayload
 
 

@@ -18,7 +18,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import SimulationError
 from repro.gossip.swim import SwimAgent, SwimConfig
-from repro.sim import HeapEventQueue, Network, Simulator, Topology
+from repro.sim import Network, Simulator, Topology
 from repro.sim.events import DEFAULT_BUCKET_WIDTH, EventQueue
 
 CONFIGS = [
@@ -274,7 +274,44 @@ class TestTimerWheel:
         sim.run_until(4.1)
         # Next firing still honours the old arming (3.0), then 0.5 cadence.
         assert fired == [1.0, 2.0, 3.0, 3.5, 4.0]
-        assert sim._wheel.class_count() == 2
+        # The abandoned 1.0s class is reaped once its last member migrates.
+        assert sim._wheel.class_count() == 1
+
+    def test_idle_interval_classes_are_reaped(self):
+        # ROADMAP-noted leak: a sim churning through many distinct intervals
+        # (adaptive probe timers) must not accumulate empty classes.
+        sim = Simulator(seed=0)
+        for i in range(100):
+            timer = sim.call_every(1.0 + i * 0.01, lambda: None)
+            timer.stop()
+        assert sim._wheel.class_count() == 0
+        # Only cancelled tombstones remain queued (reclaimed by compaction).
+        sim.run_until(2.0)
+        assert len(sim._queue) == 0
+
+    def test_adaptive_interval_churn_bounds_class_count(self):
+        sim = Simulator(seed=0)
+        fired = []
+        timer = sim.call_every(1.0, lambda: fired.append(sim.now))
+        # Adapt the interval every firing; each migration must reap the
+        # class left behind, keeping exactly one live class.
+        for i in range(50):
+            sim.run_until(sim.now + timer.interval + 0.001)
+            timer.set_interval(timer.interval * 1.01)
+            assert sim._wheel.class_count() <= 2
+        assert len(fired) >= 50
+        assert sim._wheel.class_count() == 1
+
+    def test_reaped_class_is_recreated_on_reuse(self):
+        sim = Simulator(seed=0)
+        fired = []
+        first = sim.call_every(1.0, lambda: fired.append("first"))
+        first.stop()
+        assert sim._wheel.class_count() == 0
+        sim.call_every(1.0, lambda: fired.append("second"))
+        assert sim._wheel.class_count() == 1
+        sim.run_until(1.0)
+        assert fired == ["second"]
 
     def test_stop_from_own_callback(self):
         sim = Simulator(seed=0)

@@ -6,7 +6,6 @@ once the system quiesces, queries are exact against the live nodes' actual
 state.
 """
 
-import pytest
 
 from repro.core.query import Query, QueryTerm
 from repro.harness import build_focus_cluster, drain, run_query
