@@ -4,15 +4,16 @@
 # benchmark regression gate (a quick kernel-bench smoke pass — which
 # re-verifies the hot-path speedups, the membership-backend equivalence
 # checksum, and the seeded-run determinism checksum — compared against the
-# committed full-mode BENCH_kernel.json).
+# committed full-mode BENCH_kernel.json), and the chaos smoke gate (the
+# fault-injection layer stays deterministic and inert when unused).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check lint test scheduler-equivalence bench-gate bench-kernel \
-        bench-kernel-smoke bench
+        bench-kernel-smoke bench chaos-smoke
 
-check: lint test scheduler-equivalence bench-gate
+check: lint test scheduler-equivalence bench-gate chaos-smoke
 
 # Gated on availability: ruff is a dev convenience, not a runtime
 # dependency, and the offline test image does not ship it. CI installs it.
@@ -38,6 +39,12 @@ bench-kernel-smoke:
 # full-mode baseline; see benchmarks/gate.py for what is compared.
 bench-gate: bench-kernel-smoke
 	$(PYTHON) benchmarks/gate.py
+
+# Fault-injection determinism gate: the seeded failure scenario's resilience
+# report must be byte-stable and match the committed BENCH_chaos.json, and an
+# empty fault plan must leave the kernel determinism checksum untouched.
+chaos-smoke:
+	$(PYTHON) benchmarks/chaos_smoke.py
 
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py

@@ -535,11 +535,22 @@ def bench_scale_sweep(quick: bool) -> Dict[str, object]:
     }
 
 
-def determinism_checksum() -> str:
-    """Checksum of a seeded SWIM run's metrics; must be stable run to run."""
+def determinism_checksum(with_chaos: bool = False) -> str:
+    """Checksum of a seeded SWIM run's metrics; must be stable run to run.
+
+    ``with_chaos=True`` attaches a :class:`~repro.faults.ChaosEngine` with an
+    empty :class:`~repro.faults.FaultPlan`. The contract (held by the chaos
+    smoke check) is that this changes *nothing*: the chaos layer draws from
+    its own RNG streams and schedules no events for an empty plan, so the
+    checksum must equal the plain one.
+    """
     sim = Simulator(seed=99)
     topology = Topology()
     network = Network(sim, topology)
+    if with_chaos:
+        from repro.faults import ChaosEngine, FaultPlan
+
+        ChaosEngine(sim, network).execute(FaultPlan())
     regions = [r.name for r in topology.regions]
     agents = []
     for i in range(6):

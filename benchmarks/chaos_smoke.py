@@ -1,0 +1,121 @@
+"""Chaos smoke check: the fault-injection layer is deterministic and inert.
+
+Three invariants, all cheap enough for every ``make check`` run:
+
+1. **byte-stable reports** — the seeded single-node-crash failure scenario,
+   run twice in this process, produces byte-identical resilience reports
+   (sha256 over canonical JSON);
+2. **committed checksum** — that checksum equals the one recorded in
+   ``BENCH_chaos.json``, so a change to any layer the scenario exercises
+   (network, RPC, store, gossip, agents, chaos engine) that shifts the
+   seeded run is caught at review time. Regenerate with ``--update`` after
+   an intentional change;
+3. **chaos is inert when unused** — the kernel determinism checksum with an
+   empty :class:`~repro.faults.FaultPlan` attached equals the plain one
+   (and the committed ``BENCH_kernel.json`` value, when present): merely
+   enabling the chaos layer must not perturb a single event.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_smoke.py [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from bench_kernel import determinism_checksum  # noqa: E402
+
+from repro.harness.failure_suite import (  # noqa: E402
+    report_checksum,
+    run_single_node_crash,
+)
+
+BASELINE = os.path.join(os.path.dirname(__file__), "..", "BENCH_chaos.json")
+
+#: The seed the committed checksum was produced with.
+SMOKE_SEED = 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite BENCH_chaos.json from this run")
+    args = parser.parse_args(argv)
+    failures = []
+
+    report_a = run_single_node_crash(seed=SMOKE_SEED)
+    report_b = run_single_node_crash(seed=SMOKE_SEED)
+    checksum_a = report_checksum(report_a)
+    checksum_b = report_checksum(report_b)
+    stable = checksum_a == checksum_b
+    print(f"resilience report checksum  {checksum_a[:16]}… "
+          f"({'stable' if stable else 'UNSTABLE'})")
+    if not stable:
+        failures.append("same-seed failure scenario produced two different "
+                        "resilience reports")
+
+    plain = determinism_checksum()
+    chaotic = determinism_checksum(with_chaos=True)
+    inert = plain == chaotic
+    print(f"kernel checksum, no chaos   {plain[:16]}…")
+    print(f"kernel checksum, empty plan {chaotic[:16]}… "
+          f"({'identical' if inert else 'DIFFERS'})")
+    if not inert:
+        failures.append("an empty FaultPlan perturbed the seeded kernel run")
+
+    kernel_baseline = os.path.join(os.path.dirname(BASELINE), "BENCH_kernel.json")
+    if os.path.exists(kernel_baseline):
+        with open(kernel_baseline) as fh:
+            committed = json.load(fh)["determinism"]["checksum"]
+        if committed != plain:
+            failures.append(
+                f"kernel determinism checksum drifted from BENCH_kernel.json: "
+                f"{committed[:16]}… -> {plain[:16]}…"
+            )
+
+    if args.update:
+        with open(BASELINE, "w") as fh:
+            json.dump(
+                {
+                    "seed": SMOKE_SEED,
+                    "scenario": "single-node-crash",
+                    "checksum": checksum_a,
+                    "report": report_a,
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"wrote {os.path.relpath(BASELINE)}")
+    elif os.path.exists(BASELINE):
+        with open(BASELINE) as fh:
+            baseline = json.load(fh)
+        if baseline["checksum"] != checksum_a:
+            failures.append(
+                f"resilience report checksum drifted from BENCH_chaos.json: "
+                f"{baseline['checksum'][:16]}… -> {checksum_a[:16]}… "
+                f"(regenerate with --update if intentional)"
+            )
+        else:
+            print("matches committed BENCH_chaos.json")
+    else:
+        failures.append("BENCH_chaos.json missing; run with --update to create")
+
+    if failures:
+        print("\nCHAOS SMOKE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("chaos smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

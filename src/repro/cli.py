@@ -7,6 +7,8 @@ Installed as ``focus-repro``. Subcommands:
                 (``--term "ram_mb>=4096" --term "cpu_percent<=50"``);
 * ``trace``   — replay the synthetic Chameleon trace and print percentiles;
 * ``compare`` — FOCUS vs one baseline, server bandwidth side by side;
+* ``chaos``   — seeded failure scenarios (crash, partition, churn, server
+                failover) with a deterministic resilience report;
 * ``info``    — the default attribute schema and configuration.
 """
 
@@ -82,6 +84,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--queries", type=int, default=10)
     compare.add_argument("--seed", type=int, default=1234)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="seeded failure scenarios + resilience report"
+    )
+    chaos.add_argument(
+        "--scenario",
+        choices=["all", "single-node-crash", "region-partition", "churn-storm",
+                 "focus-server-failover"],
+        default="all",
+        help="which failure scenario to run (default: all)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the full resilience report JSON")
 
     subparsers.add_parser("info", help="default schema and configuration")
     return parser
@@ -183,6 +199,35 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """``chaos``: run the failure suite, print the resilience numbers."""
+    import json
+
+    from repro.harness.failure_suite import SCENARIOS, run_suite
+
+    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    report = run_suite(seed=args.seed, scenarios=names)
+    print(f"Failure suite (seed {args.seed}):")
+    for name in names:
+        result = report["scenarios"][name]
+        window = result["fault_window"]
+        detection = result["detection_latency_s"]
+        detection_text = "n/a" if detection is None else f"{detection:5.1f} s"
+        print(f"  {name:22} detect={detection_text:>8}  "
+              f"reconverge={result['reconvergence_s']:4.1f} s  "
+              f"fn={window['false_negative_rate']:6.2%}  "
+              f"stale={window['stale_answer_rate']:6.2%}  "
+              f"timeouts={window['timeouts']}/{window['polls']}")
+        for entry in result["fault_log"]:
+            print(f"      t={entry['t']:6.1f}  {entry['action']}")
+    print(f"report checksum: {report['checksum'][:16]}…")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_info(args) -> int:
     """``info``: print the default schema and configuration knobs."""
     config = FocusConfig()
@@ -204,6 +249,7 @@ COMMANDS = {
     "query": cmd_query,
     "trace": cmd_trace,
     "compare": cmd_compare,
+    "chaos": cmd_chaos,
     "info": cmd_info,
 }
 

@@ -117,6 +117,23 @@ class NodeAgent(Process, RpcMixin):
             membership.serf.stop()
         self.memberships.clear()
         self.view_memberships.clear()
+        # Crash semantics: in-flight joins/moves and outstanding RPC calls
+        # must not leak into a restarted incarnation.
+        self._moving.clear()
+        self._joining_views.clear()
+        self.reset_rpc()
+
+    def restart(self) -> None:
+        """Crash recovery: come back up and re-register with the service.
+
+        Registration re-triggers group suggestions, so the node rejoins its
+        attribute groups (and any materialized views) from scratch — the
+        recovery path §VIII-B relies on.
+        """
+        self._skip_registration = False
+        self.registered = False
+        self.registration_error = None
+        super().restart()
 
     def start_without_registration(self) -> None:
         """Start without contacting the service (harness warm start)."""

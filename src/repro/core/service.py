@@ -118,6 +118,9 @@ class FocusService(Process, RpcMixin):
     ) -> None:
         Process.__init__(self, sim, network, address, region)
         self.init_rpc()
+        # Node agents may retransmit registrations/reports under retries;
+        # dedupe them server-side instead of double-executing.
+        self.enable_rpc_idempotency()
         self.config = config or FocusConfig()
         self.metrics = MetricsRegistry()
         self.rng = sim.derive_rng(f"focus/{address}")
@@ -152,6 +155,22 @@ class FocusService(Process, RpcMixin):
         if self.store_client is not None:
             self.every(self.config.store_sync_interval, self.dgm.sync_to_store)
         self.every(self.resources.config.sample_interval, self.resources.sample)
+
+    def on_stop(self) -> None:
+        # Crash semantics: calls issued by the previous incarnation must not
+        # resolve after the restart.
+        self.reset_rpc()
+
+    def restart(self) -> None:
+        """Crash recovery: restart and reload registrations from the store.
+
+        Group records come back on their own — representatives keep
+        uploading member lists and ``handle_report`` recreates missing
+        groups (see :meth:`recover_from_store`).
+        """
+        super().restart()
+        if self.store_client is not None:
+            self.recover_from_store()
 
     # ------------------------------------------------------------ southbound
     def _rpc_register(self, params, respond, message):

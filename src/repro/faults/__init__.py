@@ -1,0 +1,31 @@
+"""Deterministic fault injection (chaos) for the FOCUS reproduction.
+
+Build a declarative :class:`~repro.faults.plan.FaultPlan`, hand it to a
+:class:`~repro.faults.engine.ChaosEngine`, run the simulation. Same seed +
+same plan => byte-identical run; empty plan => byte-identical to no chaos
+at all.
+"""
+
+from repro.faults.engine import ChaosEngine
+from repro.faults.plan import (
+    ChurnBurst,
+    CrashNode,
+    DegradeLink,
+    FaultEvent,
+    FaultPlan,
+    PartitionRegions,
+    PauseProcess,
+    crash_storm,
+)
+
+__all__ = [
+    "ChaosEngine",
+    "ChurnBurst",
+    "CrashNode",
+    "DegradeLink",
+    "FaultEvent",
+    "FaultPlan",
+    "PartitionRegions",
+    "PauseProcess",
+    "crash_storm",
+]

@@ -1,0 +1,214 @@
+"""Deterministic chaos engine: executes a :class:`~repro.faults.plan.FaultPlan`.
+
+The engine is *not* a :class:`~repro.sim.process.Process` on purpose: it owns
+no network address, sends no messages and registers no endpoint, so attaching
+one to a simulation leaves the fault-free event order — and therefore every
+determinism checksum — byte-identical. All of its randomness (none today,
+churn target selection tomorrow) comes from its own derived stream
+(``chaos/<name>``), never from the streams the protocols draw on.
+
+Targets are resolved at *fire* time, not at schedule time: a plan can name a
+node that a churn burst only creates later, and crashing an address twice is
+a logged no-op rather than an error (chaos should not crash the simulator).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.plan import (
+    ChurnBurst,
+    CrashNode,
+    DegradeLink,
+    FaultEvent,
+    FaultPlan,
+    PartitionRegions,
+    PauseProcess,
+)
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+
+
+class ChaosEngine:
+    """Schedules a fault plan against one simulation.
+
+    ``targets`` maps address -> process for crash/pause events; processes
+    created later (churn) can be registered with :meth:`track`. ``churn``
+    is an object with ``join(count)``/``leave(count)`` (usually a
+    :class:`~repro.workloads.churn.ChurnController`) — required only if the
+    plan contains :class:`ChurnBurst` events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        *,
+        name: str = "chaos",
+        targets: Optional[Dict[str, object]] = None,
+        churn=None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.targets: Dict[str, object] = dict(targets or {})
+        self.churn = churn
+        #: Own seeded stream: plans that draw (future randomized chaos)
+        #: never perturb protocol RNGs.
+        self.rng = sim.derive_rng(f"chaos/{name}")
+        #: ``(time, action)`` strings, appended as faults actually fire —
+        #: the failure suite embeds this in its resilience report.
+        self.log: List[Tuple[float, str]] = []
+        #: Faults that could not be applied (missing target, bad state).
+        self.skipped: List[Tuple[float, str]] = []
+
+    # -------------------------------------------------------------- plumbing
+    def track(self, address: str, process) -> None:
+        """Register (or replace) a crash/pause target."""
+        self.targets[address] = process
+
+    def _note(self, action: str) -> None:
+        self.log.append((self.sim.now, action))
+
+    def _skip(self, reason: str) -> None:
+        self.skipped.append((self.sim.now, reason))
+
+    def _resolve(self, address: str):
+        target = self.targets.get(address)
+        if target is not None:
+            return target
+        if self.network.is_registered(address):
+            return self.network.endpoint(address)
+        return None
+
+    # ------------------------------------------------------------- execution
+    def execute(self, plan: FaultPlan) -> None:
+        """Schedule every event in ``plan``; empty plans schedule nothing.
+
+        Scheduling nothing for an empty plan is a hard guarantee: enabling
+        chaos with no faults must leave the simulation's event sequence
+        untouched (asserted by the chaos smoke check).
+        """
+        for event in plan.sorted_events():
+            self.sim.schedule(
+                max(0.0, event.at - self.sim.now), self._fire, event
+            )
+
+    def _fire(self, event: FaultEvent) -> None:
+        if isinstance(event, CrashNode):
+            self._crash(event)
+        elif isinstance(event, PartitionRegions):
+            self._partition(event)
+        elif isinstance(event, DegradeLink):
+            self._degrade(event)
+        elif isinstance(event, ChurnBurst):
+            self._churn(event)
+        elif isinstance(event, PauseProcess):
+            self._pause(event)
+        else:  # pragma: no cover - plan.add validates kinds implicitly
+            self._skip(f"unknown fault kind {type(event).__name__}")
+
+    # ----------------------------------------------------------- fault kinds
+    def _crash(self, event: CrashNode) -> None:
+        target = self._resolve(event.target)
+        if target is None or not getattr(target, "running", False):
+            self._skip(f"crash {event.target}: not running")
+            return
+        target.stop()
+        if event.lose_state and hasattr(target, "wipe"):
+            target.wipe()
+        self._note(event.describe())
+        if event.restart_after is not None:
+            self.sim.schedule(event.restart_after, self._restart, target, event)
+
+    def _restart(self, target, event: CrashNode) -> None:
+        if getattr(target, "running", False):
+            self._skip(f"restart {event.target}: already running")
+            return
+        target.restart()
+        self._note(f"restart {event.target}")
+
+    def _partition(self, event: PartitionRegions) -> None:
+        for region_a in event.side_a:
+            for region_b in event.side_b:
+                self.network.partition_regions(region_a, region_b)
+        self._note(event.describe())
+        if event.heal_after is not None:
+            self.sim.schedule(event.heal_after, self._heal, event)
+
+    def _heal(self, event: PartitionRegions) -> None:
+        for region_a in event.side_a:
+            for region_b in event.side_b:
+                self.network.heal_regions(region_a, region_b)
+        self._note(f"heal {','.join(event.side_a)}|{','.join(event.side_b)}")
+
+    def _degrade(self, event: DegradeLink) -> None:
+        self.network.degrade_link(
+            event.src,
+            event.dst,
+            latency_multiplier=event.latency_multiplier,
+            loss_rate=event.loss_rate,
+        )
+        self._note(event.describe())
+        if event.clear_after is not None:
+            self.sim.schedule(event.clear_after, self._clear_degrade, event)
+
+    def _clear_degrade(self, event: DegradeLink) -> None:
+        self.network.clear_link_degradation(event.src, event.dst)
+        self._note(f"clear degrade {event.src}~{event.dst}")
+
+    def _churn(self, event: ChurnBurst) -> None:
+        if self.churn is None:
+            self._skip(f"churn burst at {event.at:g}: no churn controller")
+            return
+        self.churn.burst(
+            joins=event.joins, leaves=event.leaves, spacing=event.spacing
+        )
+        self._note(event.describe())
+
+    def _stall_group(self, target) -> List[object]:
+        """A GC stall freezes the whole OS process: the target plus every
+        co-located endpoint it owns (a node agent's serf agents)."""
+        group = [target]
+        for address in getattr(target, "endpoint_addresses", lambda: [])():
+            if address != getattr(target, "address", None) and self.network.is_registered(
+                address
+            ):
+                group.append(self.network.endpoint(address))
+        return group
+
+    def _pause(self, event: PauseProcess) -> None:
+        target = self._resolve(event.target)
+        if target is None or not getattr(target, "running", False):
+            self._skip(f"pause {event.target}: not running")
+            return
+        if target.paused:
+            self._skip(f"pause {event.target}: already paused")
+            return
+        group = self._stall_group(target)
+        for process in group:
+            if process.running and not process.paused:
+                process.pause()
+        self._note(event.describe())
+        self.sim.schedule(event.resume_after, self._resume, group, event)
+
+    def _resume(self, group: List[object], event: PauseProcess) -> None:
+        resumed = False
+        for process in group:
+            if getattr(process, "running", False) and process.paused:
+                process.resume()
+                resumed = True
+        if not resumed:
+            self._skip(f"resume {event.target}: not paused")
+            return
+        self._note(f"resume {event.target}")
+
+    # --------------------------------------------------------------- reports
+    def fault_log(self) -> List[Dict[str, object]]:
+        """The applied-fault timeline, JSON-ready."""
+        return [{"t": t, "action": action} for t, action in self.log]
+
+
+# Callable alias documented for harness writers: anything with this shape can
+# serve as the engine's churn handler.
+ChurnHandler = Callable[[int, int, float], None]

@@ -312,6 +312,10 @@ class SwimAgent(Process):
 
     # ---------------------------------------------------------------- probing
     def _probe_tick(self) -> None:
+        if self.paused:
+            # Region-batched probe firings bypass Process.every's pause
+            # guard; a frozen agent must not record probes it never sent.
+            return
         target_name = self._next_probe_target()
         if target_name is None:
             return

@@ -1,0 +1,325 @@
+"""Seeded failure scenarios with a quantitative resilience report.
+
+Each scenario builds a warm-started FOCUS deployment, schedules faults
+through the :class:`~repro.faults.engine.ChaosEngine`, and measures the
+system's behaviour with a 1 Hz *probe*: a match-all live query (freshness 0)
+whose ground truth — the set of agents actually running when the probe was
+issued — is known exactly inside the simulator. From the probe stream we
+derive the three numbers the paper's failure story (§VIII) cares about:
+
+* **detection latency** — fault time until the first answer that reflects
+  the fault (a crashed node missing, or the server timing out);
+* **false-negative / stale-answer rates** inside the fault window — live
+  nodes missing from answers, dead nodes still present;
+* **re-convergence time** — heal/restart time until the last incorrect
+  answer.
+
+Everything is driven by the sim clock and seeded RNG streams, so the same
+seed produces a byte-identical report — ``checksum`` at the top level is a
+sha256 over the canonical JSON, and the chaos smoke check holds it stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.query import Query, QueryTerm
+from repro.faults import (
+    ChaosEngine,
+    ChurnBurst,
+    CrashNode,
+    FaultPlan,
+    PartitionRegions,
+)
+from repro.harness.runner import drain
+from repro.harness.scenarios import FocusScenario, build_focus_cluster
+from repro.workloads.churn import ChurnController
+
+#: Probe cadence; 1 Hz gives ±0.5 s resolution on latency numbers.
+PROBE_INTERVAL = 1.0
+
+#: Per-probe query timeout. Longer than the server's own fanout timeout
+#: (``query_timeout`` = 3 s), so a *partial* answer from a degraded server
+#: reaches the probe and shows up as false negatives; only a dead or
+#: unreachable server turns probes into timeouts.
+PROBE_TIMEOUT = 6.0
+
+
+class ResilienceProbe:
+    """Issues the match-all probe on a fixed schedule and keeps the ledger."""
+
+    def __init__(self, scenario: FocusScenario) -> None:
+        self.scenario = scenario
+        self.query = Query(
+            [QueryTerm.at_least("ram_mb", 0.0)], limit=None, freshness_ms=0.0
+        )
+        #: ``(issued_at, expected, observed, timed_out)``; ``expected`` is
+        #: captured at issue time — the simulator's exact ground truth.
+        self.samples: List[Tuple[float, frozenset, frozenset, bool]] = []
+
+    def schedule(self, start: float, end: float) -> None:
+        t = start
+        i = 0
+        while t <= end:
+            self.scenario.sim.schedule_at(t, self._issue)
+            i += 1
+            t = start + i * PROBE_INTERVAL
+
+    def _issue(self) -> None:
+        issued_at = self.scenario.sim.now
+        expected = frozenset(
+            agent.node_id for agent in self.scenario.agents if agent.running
+        )
+
+        def record(response) -> None:
+            self.samples.append(
+                (
+                    issued_at,
+                    expected,
+                    frozenset(response.node_ids),
+                    response.timed_out,
+                )
+            )
+
+        self.scenario.app.client.query(self.query, record, timeout=PROBE_TIMEOUT)
+
+    # ------------------------------------------------------------- analysis
+    def detection_latency(
+        self, fault_time: float, victims: frozenset
+    ) -> Optional[float]:
+        """Fault time -> first answer missing every victim (or timing out)."""
+        for issued_at, _expected, observed, timed_out in sorted(self.samples):
+            if issued_at < fault_time:
+                continue
+            if timed_out or not (victims & observed):
+                return issued_at - fault_time
+        return None
+
+    def timeout_detection_latency(self, fault_time: float) -> Optional[float]:
+        for issued_at, _expected, _observed, timed_out in sorted(self.samples):
+            if issued_at >= fault_time and timed_out:
+                return issued_at - fault_time
+        return None
+
+    def window_rates(self, start: float, end: float) -> Dict[str, float]:
+        """False-negative and stale-answer rates over probes in [start, end)."""
+        expected_total = 0
+        missing_total = 0
+        observed_total = 0
+        stale_total = 0
+        timeouts = 0
+        polls = 0
+        for issued_at, expected, observed, timed_out in self.samples:
+            if not start <= issued_at < end:
+                continue
+            polls += 1
+            if timed_out:
+                timeouts += 1
+                continue
+            expected_total += len(expected)
+            missing_total += len(expected - observed)
+            observed_total += len(observed)
+            stale_total += len(observed - expected)
+        return {
+            "polls": polls,
+            "timeouts": timeouts,
+            "false_negative_rate": (
+                missing_total / expected_total if expected_total else 0.0
+            ),
+            "stale_answer_rate": (
+                stale_total / observed_total if observed_total else 0.0
+            ),
+        }
+
+    def reconvergence(self, heal_time: float) -> float:
+        """Heal time -> last incorrect answer after it (0 = instantly clean)."""
+        worst = heal_time
+        for issued_at, expected, observed, timed_out in self.samples:
+            if issued_at < heal_time:
+                continue
+            if timed_out or expected != observed:
+                worst = max(worst, issued_at)
+        return worst - heal_time
+
+
+def _build(seed: int, num_nodes: int) -> Tuple[FocusScenario, ChaosEngine]:
+    scenario = build_focus_cluster(
+        num_nodes,
+        seed=seed,
+        warm_start=True,
+        with_store=True,
+        record_bandwidth_events=False,
+    )
+    engine = ChaosEngine(
+        scenario.sim,
+        scenario.network,
+        targets={scenario.service.address: scenario.service},
+        churn=ChurnController(scenario),
+    )
+    for agent in scenario.agents:
+        engine.track(agent.node_id, agent)
+    drain(scenario, 3.0)
+    return scenario, engine
+
+
+def _finish(
+    name: str,
+    seed: int,
+    scenario: FocusScenario,
+    engine: ChaosEngine,
+    probe: ResilienceProbe,
+    *,
+    fault_time: float,
+    heal_time: float,
+    detection: Optional[float],
+) -> Dict[str, object]:
+    counters = {
+        counter_name: scenario.network.metrics.counter(counter_name).value
+        for counter_name in scenario.network.metrics.names()["counters"]
+    }
+    report: Dict[str, object] = {
+        "scenario": name,
+        "seed": seed,
+        "num_nodes": len(scenario.agents),
+        "fault_log": engine.fault_log(),
+        "skipped_faults": [
+            {"t": t, "reason": reason} for t, reason in engine.skipped
+        ],
+        "fault_window": probe.window_rates(fault_time, heal_time),
+        "detection_latency_s": detection,
+        "reconvergence_s": probe.reconvergence(heal_time),
+        "counters": counters,
+    }
+    return report
+
+
+def run_single_node_crash(seed: int = 0, num_nodes: int = 24) -> Dict[str, object]:
+    """Crash one agent; restart it (durable state) 12 s later."""
+    scenario, engine = _build(seed, num_nodes)
+    t0 = scenario.sim.now
+    victim = scenario.agents[num_nodes // 2].node_id
+    fault_at, restart_after = t0 + 5.0, 12.0
+    engine.execute(
+        FaultPlan().add(
+            CrashNode(at=fault_at, target=victim, restart_after=restart_after)
+        )
+    )
+    probe = ResilienceProbe(scenario)
+    probe.schedule(t0 + 1.0, t0 + 38.0)
+    scenario.sim.run_until(t0 + 45.0)
+    return _finish(
+        "single-node-crash", seed, scenario, engine, probe,
+        fault_time=fault_at,
+        heal_time=fault_at + restart_after,
+        detection=probe.detection_latency(fault_at, frozenset({victim})),
+    )
+
+
+def run_region_partition(seed: int = 0, num_nodes: int = 24) -> Dict[str, object]:
+    """Partition the server's region from one peer region; heal after 15 s."""
+    scenario, engine = _build(seed, num_nodes)
+    regions = [r.name for r in scenario.network.topology.regions]
+    t0 = scenario.sim.now
+    fault_at, heal_after = t0 + 5.0, 15.0
+    engine.execute(
+        FaultPlan().add(
+            PartitionRegions(
+                at=fault_at,
+                side_a=(regions[0],),
+                side_b=(regions[1],),
+                heal_after=heal_after,
+            )
+        )
+    )
+    far_side = frozenset(
+        agent.node_id for agent in scenario.agents if agent.region == regions[1]
+    )
+    probe = ResilienceProbe(scenario)
+    probe.schedule(t0 + 1.0, t0 + 38.0)
+    scenario.sim.run_until(t0 + 45.0)
+    return _finish(
+        "region-partition", seed, scenario, engine, probe,
+        fault_time=fault_at,
+        heal_time=fault_at + heal_after,
+        detection=probe.detection_latency(fault_at, far_side),
+    )
+
+
+def run_churn_storm(seed: int = 0, num_nodes: int = 30) -> Dict[str, object]:
+    """10% of the fleet leaves while an equal cohort joins, 4 Hz spacing."""
+    scenario, engine = _build(seed, num_nodes)
+    t0 = scenario.sim.now
+    cohort = max(1, num_nodes // 10)
+    fault_at, spacing = t0 + 5.0, 0.25
+    engine.execute(
+        FaultPlan().add(
+            ChurnBurst(at=fault_at, joins=cohort, leaves=cohort, spacing=spacing)
+        )
+    )
+    # The storm "heals" once its last action has fired and had a settling
+    # period: joins must register and gossip their way into groups.
+    heal_time = fault_at + 2 * cohort * spacing + 10.0
+    probe = ResilienceProbe(scenario)
+    probe.schedule(t0 + 1.0, t0 + 38.0)
+    scenario.sim.run_until(t0 + 45.0)
+    return _finish(
+        "churn-storm", seed, scenario, engine, probe,
+        fault_time=fault_at,
+        heal_time=heal_time,
+        detection=None,
+    )
+
+
+def run_server_failover(seed: int = 0, num_nodes: int = 24) -> Dict[str, object]:
+    """Crash the FOCUS server; restart + store recovery 10 s later."""
+    scenario, engine = _build(seed, num_nodes)
+    t0 = scenario.sim.now
+    fault_at, restart_after = t0 + 5.0, 10.0
+    engine.execute(
+        FaultPlan().add(
+            CrashNode(
+                at=fault_at,
+                target=scenario.service.address,
+                restart_after=restart_after,
+            )
+        )
+    )
+    probe = ResilienceProbe(scenario)
+    probe.schedule(t0 + 1.0, t0 + 38.0)
+    scenario.sim.run_until(t0 + 45.0)
+    return _finish(
+        "focus-server-failover", seed, scenario, engine, probe,
+        fault_time=fault_at,
+        heal_time=fault_at + restart_after,
+        detection=probe.timeout_detection_latency(fault_at),
+    )
+
+
+SCENARIOS = {
+    "single-node-crash": run_single_node_crash,
+    "region-partition": run_region_partition,
+    "churn-storm": run_churn_storm,
+    "focus-server-failover": run_server_failover,
+}
+
+
+def report_checksum(report: Dict[str, object]) -> str:
+    """sha256 of the canonical JSON encoding (the byte-stability contract)."""
+    blob = json.dumps(report, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def run_suite(
+    seed: int = 0, scenarios: Optional[List[str]] = None
+) -> Dict[str, object]:
+    """Run the named scenarios (default: all) and wrap them in one report."""
+    names = scenarios or list(SCENARIOS)
+    results = {}
+    for name in names:
+        results[name] = SCENARIOS[name](seed=seed)
+    report: Dict[str, object] = {"report_version": 1, "seed": seed,
+                                 "scenarios": results}
+    report["checksum"] = report_checksum(results)
+    return report

@@ -11,7 +11,7 @@ the store's quorum behaviour and SWIM's suspicion mechanism.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, Optional, Protocol, Set
+from typing import Callable, Dict, FrozenSet, Optional, Protocol, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.sim.loop import Simulator
@@ -166,7 +166,15 @@ class Network:
         self._meters: Dict[str, BandwidthMeter] = {}
         self._blocked: Set[FrozenSet[str]] = set()
         self._blocked_regions: Set[FrozenSet[str]] = set()
+        #: One-directional blocks: ``(src, dst)`` pairs (asymmetric failures).
+        self._blocked_directed: Set[Tuple[str, str]] = set()
+        #: Per-link degradation overrides: pair -> (latency multiplier, loss).
+        self._degraded: Dict[FrozenSet[str], Tuple[float, float]] = {}
         self._rng = sim.derive_rng("network")
+        # Degraded-link loss draws come from their own stream so layering a
+        # degradation onto one link never shifts the base ``_rng`` sequence
+        # (loss + jitter draws) seen by the rest of the run.
+        self._degrade_rng = sim.derive_rng("network/degrade")
         self._delivery_taps: list[Callable[[Message], None]] = []
         #: Wire-size table: message kind -> fixed size or callable(payload).
         self._wire_sizes: Dict[str, object] = {}
@@ -238,6 +246,18 @@ class Network:
     def unblock(self, address_a: str, address_b: str) -> None:
         self._blocked.discard(frozenset((address_a, address_b)))
 
+    def block_directed(self, src: str, dst: str) -> None:
+        """Drop traffic from ``src`` to ``dst`` only (asymmetric failure).
+
+        The reverse direction keeps flowing, which is how NAT/firewall
+        misconfigurations and one-way routing failures present: ``dst`` can
+        still ping ``src``, but never hears an ack back.
+        """
+        self._blocked_directed.add((src, dst))
+
+    def unblock_directed(self, src: str, dst: str) -> None:
+        self._blocked_directed.discard((src, dst))
+
     def partition_regions(self, region_a: str, region_b: str) -> None:
         """Drop all traffic between two regions (both directions)."""
         self._blocked_regions.add(frozenset((region_a, region_b)))
@@ -245,9 +265,49 @@ class Network:
     def heal_regions(self, region_a: str, region_b: str) -> None:
         self._blocked_regions.discard(frozenset((region_a, region_b)))
 
+    def degrade_link(
+        self,
+        address_a: str,
+        address_b: str,
+        *,
+        latency_multiplier: float = 1.0,
+        loss_rate: float = 0.0,
+    ) -> None:
+        """Degrade one link (both directions): slower and/or lossier.
+
+        ``latency_multiplier`` scales the topology-derived one-way latency;
+        ``loss_rate`` is an *additional* drop probability applied on top of
+        the network-wide one. Loss draws come from a dedicated RNG stream so
+        degrading a link never perturbs the seeded event order of undegraded
+        traffic. Re-degrading a pair overwrites the previous override.
+        """
+        if latency_multiplier <= 0:
+            raise NetworkError(
+                f"latency multiplier must be positive, got {latency_multiplier}"
+            )
+        if not 0.0 <= loss_rate <= 1.0:
+            raise NetworkError(f"loss rate must be in [0, 1], got {loss_rate}")
+        self._degraded[frozenset((address_a, address_b))] = (
+            latency_multiplier,
+            loss_rate,
+        )
+
+    def clear_link_degradation(self, address_a: str, address_b: str) -> None:
+        self._degraded.pop(frozenset((address_a, address_b)), None)
+
+    def link_degradation(
+        self, address_a: str, address_b: str
+    ) -> Optional[Tuple[float, float]]:
+        """Current ``(latency_multiplier, loss_rate)`` override, if any."""
+        return self._degraded.get(frozenset((address_a, address_b)))
+
     def heal_all(self) -> None:
+        """Clear every injected failure: pair and directed blocks, region
+        partitions, and per-link degradation overrides."""
         self._blocked.clear()
         self._blocked_regions.clear()
+        self._blocked_directed.clear()
+        self._degraded.clear()
 
     def add_delivery_tap(self, tap: Callable[[Message], None]) -> None:
         """Register a callback invoked on every successful delivery."""
@@ -307,6 +367,8 @@ class Network:
     def _drop_reason(self, message: Message, sender: Endpoint) -> Optional[str]:
         if frozenset((message.src, message.dst)) in self._blocked:
             return "blocked"
+        if self._blocked_directed and (message.src, message.dst) in self._blocked_directed:
+            return "blocked_directed"
         receiver = self._endpoints.get(message.dst)
         if receiver is not None:
             pair = frozenset((sender.region, receiver.region))
@@ -316,6 +378,14 @@ class Network:
             # Never-registered destination: there is no region to route
             # toward, so drop at send time instead of inventing a latency.
             return "unknown_destination"
+        if self._degraded:
+            entry = self._degraded.get(frozenset((message.src, message.dst)))
+            if (
+                entry is not None
+                and entry[1] > 0.0
+                and self._degrade_rng.random() < entry[1]
+            ):
+                return "degraded"
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             return "loss"
         return None
@@ -341,6 +411,10 @@ class Network:
             # not toward the sender's own region.
             dst_region = self._last_region.get(dst, sender.region)
         base = self.topology.latency(sender.region, dst_region)
+        if self._degraded:
+            entry = self._degraded.get(frozenset((sender.address, dst)))
+            if entry is not None:
+                base *= entry[0]
         if self.jitter_fraction > 0:
             return base * (1.0 + self._rng.random() * self.jitter_fraction)
         return base

@@ -7,7 +7,7 @@ addressable endpoint with a message dispatch table and lifecycle hooks.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.loop import RepeatingTimer, Simulator
@@ -29,8 +29,15 @@ class Process:
         self.address = address
         self.region = region
         self.running = False
+        #: A paused process models a GC stall / frozen VM: it receives
+        #: nothing, sends nothing, and its expired one-shot timers fire in a
+        #: burst on :meth:`resume` (periodic firings are simply skipped).
+        self.paused = False
+        #: Deliveries and sends swallowed while paused (failure-suite metric).
+        self.paused_drops = 0
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         self._timers: List[RepeatingTimer] = []
+        self._deferred: List[Tuple[Callable[..., None], tuple]] = []
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -46,11 +53,53 @@ class Process:
         if not self.running:
             return
         self.running = False
+        self.paused = False
+        self._deferred.clear()
         for timer in self._timers:
             timer.stop()
         self._timers.clear()
         self.network.unregister(self.address)
         self.on_stop()
+
+    def restart(self) -> None:
+        """Bring a stopped process back up (crash recovery).
+
+        The base implementation just re-registers and restarts periodic
+        work via :meth:`start`; subclasses override to reload durable state
+        or re-introduce themselves to peers (the node agent re-registers
+        with the FOCUS service, the service reloads the store).
+        """
+        if self.running:
+            raise SimulationError(f"{self.address} is already running")
+        self.start()
+
+    def pause(self) -> None:
+        """Freeze the process (GC-stall style) until :meth:`resume`.
+
+        While paused the process stays registered on the network but drops
+        every delivery and send, skips periodic timer firings, and defers
+        expired one-shot (:meth:`after`/:meth:`post`) callbacks. Peers see
+        an unresponsive node — SWIM suspects it — yet its state survives, so
+        on resume it refutes suspicion instead of rejoining from scratch.
+        """
+        if not self.running:
+            raise SimulationError(f"cannot pause stopped process {self.address}")
+        self.paused = True
+
+    def resume(self) -> None:
+        """Unfreeze: replay deferred one-shot callbacks in expiry order.
+
+        Replaying (rather than dropping) matches what a real stall does —
+        every timer that expired during the freeze fires late, in order, the
+        moment the process thaws.
+        """
+        if not self.paused:
+            return
+        self.paused = False
+        deferred, self._deferred = self._deferred, []
+        for callback, args in deferred:
+            if self.running and not self.paused:
+                callback(*args)
 
     def on_start(self) -> None:
         """Subclass hook; schedule periodic tasks here."""
@@ -68,6 +117,9 @@ class Process:
     def handle_message(self, message: Message) -> None:
         if not self.running:
             return
+        if self.paused:
+            self.paused_drops += 1
+            return
         handler = self._handlers.get(message.kind)
         if handler is None:
             self.on_unhandled(message)
@@ -80,6 +132,9 @@ class Process:
     def send(self, dst: str, kind: str, payload: object, *, size: Optional[int] = None) -> None:
         if not self.running:
             return
+        if self.paused:
+            self.paused_drops += 1
+            return
         self.network.send(self.address, dst, kind, payload, size=size)
 
     # ----------------------------------------------------------------- timers
@@ -91,10 +146,20 @@ class Process:
         jitter: float = 0.0,
         start_delay: Optional[float] = None,
     ) -> RepeatingTimer:
-        """Run ``callback`` periodically until the process stops."""
+        """Run ``callback`` periodically until the process stops.
+
+        Firings are skipped (not deferred) while the process is paused: a
+        thawed process picks its periodic work back up at the next interval
+        rather than replaying a burst of stale ticks.
+        """
+
+        def fire() -> None:
+            if not self.paused:
+                callback()
+
         timer = self.sim.call_every(
             interval,
-            callback,
+            fire,
             jitter=jitter,
             rng=self.sim.derive_rng(f"{self.address}/timer/{len(self._timers)}"),
             start_delay=start_delay,
@@ -110,8 +175,12 @@ class Process:
         """
 
         def guarded(*call_args: object) -> None:
-            if self.running:
-                callback(*call_args)
+            if not self.running:
+                return
+            if self.paused:
+                self._deferred.append((callback, call_args))
+                return
+            callback(*call_args)
 
         return self.sim.schedule(delay, guarded, *args)
 
@@ -127,11 +196,15 @@ class Process:
         self.sim.post(delay, self._post_fire, callback, args)
 
     def _post_fire(self, callback: Callable[..., None], args: tuple) -> None:
-        if self.running:
-            callback(*args)
+        if not self.running:
+            return
+        if self.paused:
+            self._deferred.append((callback, args))
+            return
+        callback(*args)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        state = "up" if self.running else "down"
+        state = "paused" if self.paused else ("up" if self.running else "down")
         return f"<{type(self).__name__} {self.address} ({self.region}) {state}>"
 
 

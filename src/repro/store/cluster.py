@@ -5,11 +5,23 @@ operations: writes go to the key's N replicas and complete at W acks, reads
 query the replicas and complete at R responses with last-write-wins
 reconciliation plus read repair. :class:`StoreCluster` wires up the replica
 processes across regions.
+
+Degraded operation (how the store keeps answering through faults):
+
+* **stale reads** — pass ``on_stale`` to :meth:`StoreClient.get` and a read
+  whose quorum is unreachable falls back to the freshest reply that *did*
+  arrive (flagged, counted under ``store.stale_reads``) instead of erroring;
+* **hinted handoff** — a write acknowledged by too few replicas leaves a
+  hint per unreachable replica; hints are replayed on a timer until the
+  replica answers again (timestamped last-write-wins makes replay
+  idempotent), healing the quorum after a crash-restart;
+* **partial scans** — ``scan(..., allow_partial=True)`` merges whatever
+  replicas answered instead of failing the whole scan.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import QuorumError
 from repro.sim.loop import Simulator
@@ -70,6 +82,11 @@ class StoreClient:
         write_quorum: int = 2,
         read_quorum: int = 2,
         timeout: float = 2.0,
+        retries: int = 0,
+        retry_backoff: float = 0.25,
+        hinted_handoff: bool = True,
+        hint_capacity: int = 512,
+        hint_replay_interval: float = 5.0,
     ) -> None:
         if write_quorum > replication_factor or read_quorum > replication_factor:
             raise ValueError("quorum cannot exceed replication factor")
@@ -79,8 +96,95 @@ class StoreClient:
         self.write_quorum = write_quorum
         self.read_quorum = read_quorum
         self.timeout = timeout
+        #: Per-replica RPC retries (exponential backoff + full jitter); safe
+        #: because every mutation carries its original timestamp (LWW).
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.hinted_handoff = hinted_handoff
+        self.hint_capacity = hint_capacity
+        self.hint_replay_interval = hint_replay_interval
+        #: Pending hints: ``(replica, method, params)``; params keep their
+        #: original write timestamp so replay is idempotent.
+        self.hints: List[Tuple[str, str, Dict[str, object]]] = []
+        self._hint_replay_scheduled = False
+
+    def _counter(self, name: str):
+        # Lazily created so fault-free runs never grow new metrics entries.
+        return self.host.network.metrics.counter(name)
+
+    # ------------------------------------------------------- hinted handoff
+    def _record_hint(self, replica: str, method: str, params: Dict[str, object]) -> None:
+        """Remember a write a replica missed; replayed until it answers."""
+        if not self.hinted_handoff:
+            return
+        if len(self.hints) >= self.hint_capacity:
+            self._counter("store.hints_dropped").inc()
+            return
+        self.hints.append((replica, method, params))
+        self._schedule_hint_replay()
+
+    def _schedule_hint_replay(self) -> None:
+        if self._hint_replay_scheduled or not self.hints:
+            return
+        self._hint_replay_scheduled = True
+        self.host.after(self.hint_replay_interval, self._replay_hints)
+
+    def _replay_hints(self) -> None:
+        self._hint_replay_scheduled = False
+        batch, self.hints = self.hints, []
+        for replica, method, params in batch:
+            self.host.call(
+                replica,
+                method,
+                params,
+                on_reply=lambda result: self._counter("store.hints_replayed").inc(),
+                on_timeout=lambda r=replica, m=method, p=params: self._requeue_hint(
+                    r, m, p
+                ),
+                timeout=self.timeout,
+            )
+
+    def _requeue_hint(self, replica: str, method: str, params: Dict[str, object]) -> None:
+        if len(self.hints) >= self.hint_capacity:
+            self._counter("store.hints_dropped").inc()
+            return
+        self.hints.append((replica, method, params))
+        self._schedule_hint_replay()
 
     # ----------------------------------------------------------------- writes
+    def _write(
+        self,
+        method: str,
+        replicas: List[str],
+        params: Dict[str, object],
+        on_done: Optional[Callable[[], None]],
+        on_error: Optional[Callable[[Exception], None]],
+    ) -> None:
+        op = _QuorumOp(
+            len(replicas),
+            min(self.write_quorum, len(replicas)),
+            lambda results: on_done() if on_done is not None else None,
+            on_error,
+        )
+
+        def missed(replica: str) -> None:
+            # The write carries its original timestamp, so replaying it later
+            # can never clobber a newer value on the recovered replica.
+            self._record_hint(replica, method, params)
+            op.fail()
+
+        for replica in replicas:
+            self.host.call(
+                replica,
+                method,
+                params,
+                on_reply=lambda result, op=op: op.succeed(result),
+                on_timeout=lambda r=replica: missed(r),
+                timeout=self.timeout,
+                retries=self.retries,
+                retry_backoff=self.retry_backoff,
+            )
+
     def put(
         self,
         table: str,
@@ -93,22 +197,8 @@ class StoreClient:
         replicas = self.ring.nodes_for(key, self.replication_factor)
         if not replicas:
             raise QuorumError("store has no replicas")
-        op = _QuorumOp(
-            len(replicas),
-            min(self.write_quorum, len(replicas)),
-            lambda results: on_done() if on_done is not None else None,
-            on_error,
-        )
         params = {"table": table, "key": key, "value": value, "ts": self.host.sim.now}
-        for replica in replicas:
-            self.host.call(
-                replica,
-                "store.put",
-                params,
-                on_reply=lambda result, op=op: op.succeed(result),
-                on_timeout=op.fail,
-                timeout=self.timeout,
-            )
+        self._write("store.put", replicas, params, on_done, on_error)
 
     def delete(
         self,
@@ -119,24 +209,22 @@ class StoreClient:
         on_error: Optional[Callable[[Exception], None]] = None,
     ) -> None:
         replicas = self.ring.nodes_for(key, self.replication_factor)
-        op = _QuorumOp(
-            len(replicas),
-            min(self.write_quorum, len(replicas)),
-            lambda results: on_done() if on_done is not None else None,
-            on_error,
-        )
         params = {"table": table, "key": key, "ts": self.host.sim.now}
-        for replica in replicas:
-            self.host.call(
-                replica,
-                "store.delete",
-                params,
-                on_reply=lambda result, op=op: op.succeed(result),
-                on_timeout=op.fail,
-                timeout=self.timeout,
-            )
+        self._write("store.delete", replicas, params, on_done, on_error)
 
     # ------------------------------------------------------------------ reads
+    @staticmethod
+    def _newest_row(results: List[object]) -> Optional[Row]:
+        newest: Optional[Row] = None
+        for result in results:
+            wire = result.get("row") if isinstance(result, dict) else None
+            if wire is None:
+                continue
+            row = Row.from_wire(wire)
+            if newest is None or row.timestamp > newest.timestamp:
+                newest = row
+        return newest
+
     def get(
         self,
         table: str,
@@ -144,20 +232,20 @@ class StoreClient:
         on_done: Callable[[Optional[Row]], None],
         *,
         on_error: Optional[Callable[[Exception], None]] = None,
+        on_stale: Optional[Callable[[Optional[Row]], None]] = None,
     ) -> None:
+        """Quorum read; exactly one of ``on_done``/``on_stale``/``on_error``.
+
+        With ``on_stale`` set, a read whose quorum is unreachable degrades to
+        the freshest reply that did arrive (possibly ``None``) instead of
+        erroring; no read repair is attempted from a sub-quorum answer.
+        """
         replicas = self.ring.nodes_for(key, self.replication_factor)
         if not replicas:
             raise QuorumError("store has no replicas")
 
         def reconcile(results: List[object]) -> None:
-            newest: Optional[Row] = None
-            for result in results:
-                wire = result.get("row") if isinstance(result, dict) else None
-                if wire is None:
-                    continue
-                row = Row.from_wire(wire)
-                if newest is None or row.timestamp > newest.timestamp:
-                    newest = row
+            newest = self._newest_row(results)
             if newest is not None:
                 self._read_repair(table, replicas, newest)
             on_done(newest)
@@ -165,6 +253,13 @@ class StoreClient:
         op = _QuorumOp(
             len(replicas), min(self.read_quorum, len(replicas)), reconcile, on_error
         )
+        if on_stale is not None:
+
+            def degrade(error: Exception) -> None:
+                self._counter("store.stale_reads").inc()
+                on_stale(self._newest_row(op.successes))
+
+            op.on_error = degrade
         params = {"table": table, "key": key}
         for replica in replicas:
             self.host.call(
@@ -174,6 +269,8 @@ class StoreClient:
                 on_reply=lambda result, op=op: op.succeed(result),
                 on_timeout=op.fail,
                 timeout=self.timeout,
+                retries=self.retries,
+                retry_backoff=self.retry_backoff,
             )
 
     def _read_repair(self, table: str, replicas: List[str], newest: Row) -> None:
@@ -200,8 +297,14 @@ class StoreClient:
         *,
         limit: Optional[int] = None,
         on_error: Optional[Callable[[Exception], None]] = None,
+        allow_partial: bool = False,
     ) -> None:
-        """Merge rows from every replica (newest version per key wins)."""
+        """Merge rows from every replica (newest version per key wins).
+
+        ``allow_partial=True`` degrades gracefully: if any replica times out,
+        whatever the others returned is merged and delivered (counted under
+        ``store.partial_scans``) instead of failing the whole scan.
+        """
         replicas = self.ring.nodes
         if not replicas:
             raise QuorumError("store has no replicas")
@@ -222,6 +325,13 @@ class StoreClient:
         # A full scan must cover the whole ring; require all replicas so no
         # token range is missed (our tables are small).
         op = _QuorumOp(len(replicas), len(replicas), merge, on_error)
+        if allow_partial:
+
+            def degrade(error: Exception) -> None:
+                self._counter("store.partial_scans").inc()
+                merge(list(op.successes))
+
+            op.on_error = degrade
         for replica in replicas:
             self.host.call(
                 replica,
@@ -230,6 +340,8 @@ class StoreClient:
                 on_reply=lambda result, op=op: op.succeed(result),
                 on_timeout=op.fail,
                 timeout=self.timeout,
+                retries=self.retries,
+                retry_backoff=self.retry_backoff,
             )
 
 

@@ -23,6 +23,9 @@ class StoreReplica(Process, RpcMixin):
     def __init__(self, sim: Simulator, network: Network, address: str, region: str) -> None:
         Process.__init__(self, sim, network, address, region)
         self.init_rpc()
+        # Coordinators may retransmit writes (retries / hinted handoff);
+        # answer duplicates from the reply cache instead of re-executing.
+        self.enable_rpc_idempotency()
         self.tables: Dict[str, Table] = {}
         self.serve("store.get", self._rpc_get)
         self.serve("store.put", self._rpc_put)
@@ -33,6 +36,16 @@ class StoreReplica(Process, RpcMixin):
         if name not in self.tables:
             self.tables[name] = Table(name)
         return self.tables[name]
+
+    def wipe(self) -> None:
+        """Discard all local state (models a crash that loses the disk).
+
+        The replica relies on read repair and hinted handoff from
+        coordinators to be repopulated after :meth:`restart`.
+        """
+        self.tables.clear()
+        if self._rpc_reply_cache is not None:
+            self._rpc_reply_cache.clear()
 
     # ------------------------------------------------------------------ RPCs
     def _rpc_get(self, params, respond, message):

@@ -4,12 +4,15 @@
   and every baseline, with the paper's randomised initial values (§X-A).
 * :mod:`repro.workloads.dynamics`   — random-walk drivers that keep dynamic
   attributes changing (and FOCUS nodes moving between groups).
+* :mod:`repro.workloads.churn`      — batched join/leave bursts, the chaos
+  engine's churn handler.
 * :mod:`repro.workloads.querygen`   — Table I / Table II style queries.
 * :mod:`repro.workloads.chameleon`  — synthetic equivalent of the Chameleon
   cloud trace (75K VM placement events over 10 months) used in Fig. 7c.
 """
 
 from repro.workloads.chameleon import ChameleonTraceGenerator, TraceEvent
+from repro.workloads.churn import ChurnController
 from repro.workloads.dynamics import AttributeDynamics, WorkloadDriver
 from repro.workloads.population import node_spec_factory
 from repro.workloads.querygen import QueryWorkload, placement_query
@@ -17,6 +20,7 @@ from repro.workloads.querygen import QueryWorkload, placement_query
 __all__ = [
     "AttributeDynamics",
     "ChameleonTraceGenerator",
+    "ChurnController",
     "QueryWorkload",
     "TraceEvent",
     "WorkloadDriver",

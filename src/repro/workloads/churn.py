@@ -1,0 +1,86 @@
+"""Churn: batched node arrivals and departures against a live scenario.
+
+The chaos engine (:mod:`repro.faults`) knows how to *schedule* a churn burst
+but not how to *build* a node — that knowledge lives here, next to the rest
+of the workload layer. A :class:`ChurnController` is handed to the engine as
+its churn handler and keeps the scenario's ``agents`` list in sync, so
+queries and ground-truth bookkeeping see churned nodes like any others.
+
+All randomness (which nodes leave, what attributes joiners report) comes
+from the controller's own derived stream, so adding churn to a run never
+perturbs the base protocol event order.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.agent import NodeAgent
+from repro.harness.scenarios import (
+    FocusScenario,
+    default_static_attributes,
+    random_dynamic_attributes,
+)
+
+
+class ChurnController:
+    """Joins and leaves for one :class:`~repro.harness.scenarios.FocusScenario`."""
+
+    def __init__(self, scenario: FocusScenario, *, name: str = "churn") -> None:
+        self.scenario = scenario
+        self.rng = scenario.sim.derive_rng(f"churn/{name}")
+        #: Next node index; continues the scenario's ``node-{index:05d}`` run.
+        self._next_index = len(scenario.agents)
+        self.joined: List[str] = []
+        self.left: List[str] = []
+
+    def burst(self, *, joins: int = 0, leaves: int = 0, spacing: float = 0.0) -> None:
+        """Schedule ``joins`` arrivals and ``leaves`` graceful departures.
+
+        Actions are interleaved (leave, join, leave, ...) and spread
+        ``spacing`` seconds apart. Departing nodes are drawn (without
+        replacement) from the agents running *now*; one that has already
+        stopped by its fire time is skipped.
+        """
+        candidates = sorted(
+            agent.node_id for agent in self.scenario.agents if agent.running
+        )
+        victims = self.rng.sample(candidates, min(leaves, len(candidates)))
+        actions: List = []
+        for i in range(max(joins, leaves)):
+            if i < leaves:
+                actions.append((self._leave_one, victims[i]))
+            if i < joins:
+                actions.append((self._join_one,))
+        for i, action in enumerate(actions):
+            self.scenario.sim.schedule(i * spacing, *action)
+
+    # ---------------------------------------------------------------- actions
+    def _join_one(self) -> None:
+        scenario = self.scenario
+        index = self._next_index
+        self._next_index += 1
+        regions = [r.name for r in scenario.network.topology.regions]
+        region = regions[index % len(regions)]
+        agent = NodeAgent(
+            scenario.sim,
+            scenario.network,
+            f"node-{index:05d}",
+            region,
+            scenario.service.address,
+            static=default_static_attributes(index, site=f"site-{region}"),
+            dynamic=random_dynamic_attributes(scenario.config, self.rng),
+            config=scenario.config,
+        )
+        scenario.agents.append(agent)
+        self.joined.append(agent.node_id)
+        agent.start()
+
+    def _leave_one(self, node_id: str) -> None:
+        agent = next(
+            (a for a in self.scenario.agents if a.node_id == node_id), None
+        )
+        if agent is None or not agent.running:
+            return
+        self.left.append(node_id)
+        agent.shutdown()

@@ -1,0 +1,210 @@
+"""Store degraded paths: quorum errors, stale reads, hints, partial scans."""
+
+import pytest
+
+from repro.errors import QuorumError
+from repro.sim.process import Process
+from repro.sim.rpc import RpcMixin
+from repro.store import StoreCluster
+
+
+class Host(Process, RpcMixin):
+    """Test host issuing quorum operations."""
+
+    def __init__(self, sim, network, region):
+        Process.__init__(self, sim, network, "host", region)
+        self.init_rpc()
+
+
+@pytest.fixture
+def setup(sim, network, regions):
+    cluster = StoreCluster(sim, network, num_replicas=3)
+    host = Host(sim, network, regions[0])
+    host.start()
+    client = cluster.client_for(host)
+    return cluster, host, client
+
+
+def put(sim, client, key, value, **kwargs):
+    done = []
+    client.put("t", key, {"v": value}, on_done=lambda: done.append(True),
+               on_error=done.append, **kwargs)
+    sim.run_until(sim.now + 4.0)
+    return done
+
+
+def block_replicas(network, host, replicas):
+    for replica in replicas:
+        network.block(host.address, replica.address)
+
+
+class TestQuorumErrors:
+    def test_write_quorum_unreachable_propagates_error(self, sim, network, setup):
+        cluster, host, client = setup
+        block_replicas(network, host, cluster.replicas[:2])
+        outcome = put(sim, client, "k", 1)
+        assert len(outcome) == 1
+        assert isinstance(outcome[0], QuorumError)
+
+    def test_read_quorum_unreachable_propagates_error(self, sim, network, setup):
+        cluster, host, client = setup
+        put(sim, client, "k", 1)
+        block_replicas(network, host, cluster.replicas[:2])
+        errors = []
+        client.get("t", "k", on_done=lambda row: pytest.fail("quorum met?"),
+                   on_error=errors.append)
+        sim.run_until(sim.now + 4.0)
+        assert len(errors) == 1
+        assert isinstance(errors[0], QuorumError)
+
+    def test_delete_quorum_unreachable_propagates_error(self, sim, network, setup):
+        cluster, host, client = setup
+        put(sim, client, "k", 1)
+        block_replicas(network, host, cluster.replicas[:2])
+        errors = []
+        client.delete("t", "k", on_error=errors.append)
+        sim.run_until(sim.now + 4.0)
+        assert len(errors) == 1 and isinstance(errors[0], QuorumError)
+
+
+class TestStaleReads:
+    def test_stale_fallback_returns_best_available(self, sim, network, setup):
+        cluster, host, client = setup
+        put(sim, client, "k", 7)
+        block_replicas(network, host, cluster.replicas[:2])
+        fresh, stale = [], []
+        client.get("t", "k", on_done=fresh.append, on_stale=stale.append)
+        sim.run_until(sim.now + 4.0)
+        assert fresh == []
+        assert len(stale) == 1
+        # The reachable replica had the value: stale but correct.
+        assert stale[0] is not None and stale[0].value == {"v": 7}
+        assert network.metrics.counter("store.stale_reads").value == 1
+
+    def test_stale_fallback_with_nothing_reachable_yields_none(
+        self, sim, network, setup
+    ):
+        cluster, host, client = setup
+        put(sim, client, "k", 7)
+        block_replicas(network, host, cluster.replicas)
+        stale = []
+        client.get("t", "k", on_done=lambda row: pytest.fail("no quorum"),
+                   on_stale=stale.append)
+        sim.run_until(sim.now + 4.0)
+        assert stale == [None]
+
+    def test_quorum_read_still_prefers_on_done(self, sim, network, setup):
+        cluster, host, client = setup
+        put(sim, client, "k", 7)
+        fresh, stale = [], []
+        client.get("t", "k", on_done=fresh.append, on_stale=stale.append)
+        sim.run_until(sim.now + 4.0)
+        assert len(fresh) == 1 and stale == []
+
+    def test_read_repair_skips_blocked_replica_until_heal(self, sim, network, setup):
+        cluster, host, client = setup
+        put(sim, client, "k", 1)
+        isolated = cluster.replicas[1]
+        network.block(host.address, isolated.address)
+        put(sim, client, "k", 2)  # quorum of 2; isolated replica stays at v1
+        fresh = []
+        client.get("t", "k", on_done=fresh.append)
+        sim.run_until(sim.now + 4.0)
+        assert fresh[0].value == {"v": 2}
+        # Repair writes to the blocked replica were dropped: still stale.
+        assert isolated.tables["t"].get("k").value == {"v": 1}
+        network.unblock(host.address, isolated.address)
+        client.get("t", "k", on_done=fresh.append)
+        sim.run_until(sim.now + 4.0)
+        assert isolated.tables["t"].get("k").value == {"v": 2}
+
+
+class TestHintedHandoff:
+    def test_hint_replayed_when_replica_returns(self, sim, network, setup):
+        cluster, host, client = setup
+        isolated = cluster.replicas[1]
+        network.block(host.address, isolated.address)
+        outcome = put(sim, client, "k", 5)
+        assert outcome == [True]  # quorum met without the blocked replica
+        assert len(client.hints) == 1
+        table = isolated.tables.get("t")
+        assert table is None or table.get("k") is None
+        network.unblock(host.address, isolated.address)
+        sim.run_until(sim.now + 3 * client.hint_replay_interval)
+        assert client.hints == []
+        assert isolated.tables["t"].get("k").value == {"v": 5}
+        assert network.metrics.counter("store.hints_replayed").value == 1
+
+    def test_hint_replay_is_lww_idempotent(self, sim, network, setup):
+        """A newer write during the outage must not be clobbered by replay."""
+        cluster, host, client = setup
+        isolated = cluster.replicas[1]
+        network.block(host.address, isolated.address)
+        put(sim, client, "k", 1)  # hinted for the blocked replica
+        network.unblock(host.address, isolated.address)
+        put(sim, client, "k", 2)  # newer write reaches everyone
+        sim.run_until(sim.now + 3 * client.hint_replay_interval)
+        assert isolated.tables["t"].get("k").value == {"v": 2}
+
+    def test_hints_can_be_disabled(self, sim, network, setup):
+        cluster, host, _ = setup
+        client = cluster.client_for(host, hinted_handoff=False)
+        network.block(host.address, cluster.replicas[1].address)
+        put(sim, client, "k", 5)
+        assert client.hints == []
+
+    def test_hint_capacity_bounds_the_queue(self, sim, network, setup):
+        cluster, host, _ = setup
+        client = cluster.client_for(host, hint_capacity=2)
+        network.block(host.address, cluster.replicas[1].address)
+        for i in range(5):
+            put(sim, client, f"k{i}", i)
+        assert len(client.hints) <= 2
+        assert network.metrics.counter("store.hints_dropped").value >= 1
+
+
+class TestPartialScans:
+    def test_partial_scan_merges_reachable_replicas(self, sim, network, setup):
+        cluster, host, client = setup
+        for i in range(6):
+            put(sim, client, f"k{i}", i)
+        block_replicas(network, host, cluster.replicas[:1])
+        rows, errors = [], []
+        client.scan("t", rows.extend, on_error=errors.append, allow_partial=True)
+        sim.run_until(sim.now + 6.0)
+        assert errors == []
+        # Quorum writes reached >= 2 replicas, so the two reachable ones
+        # still cover every key between them.
+        assert {r.value["v"] for r in rows} == set(range(6))
+        assert network.metrics.counter("store.partial_scans").value == 1
+
+    def test_strict_scan_fails_when_a_replica_is_unreachable(
+        self, sim, network, setup
+    ):
+        cluster, host, client = setup
+        put(sim, client, "k", 1)
+        block_replicas(network, host, cluster.replicas[:1])
+        rows, errors = [], []
+        client.scan("t", rows.extend, on_error=errors.append)
+        sim.run_until(sim.now + 6.0)
+        assert rows == []
+        assert len(errors) == 1 and isinstance(errors[0], QuorumError)
+
+
+class TestReplicaWipe:
+    def test_wipe_loses_state_and_read_repair_restores_it(
+        self, sim, network, setup
+    ):
+        cluster, host, client = setup
+        put(sim, client, "k", 9)
+        victim = cluster.replicas[0]
+        victim.stop()
+        victim.wipe()
+        victim.restart()
+        assert victim.tables == {}
+        fresh = []
+        client.get("t", "k", on_done=fresh.append)
+        sim.run_until(sim.now + 4.0)
+        assert fresh[0].value == {"v": 9}  # quorum still answers
+        sim.run_until(sim.now + 3.0)  # read repair repopulates the wiped node
+        assert victim.tables["t"].get("k").value == {"v": 9}
