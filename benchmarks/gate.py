@@ -25,7 +25,7 @@ invariants that hold on any machine at any size:
   (a 700x speedup falling to 1x), not a 20% wobble;
 * the committed baseline itself must still honor the PR acceptance bars it
   was committed with (event_loop >= 2x the PR 1 constant, swim_full at 6400
-  nodes >= 2x the PR 3 constant).
+  nodes >= 2x the PR 3 constant and >= 1.5x the PR 5 pre-batching constant).
 """
 
 from __future__ import annotations
@@ -121,6 +121,13 @@ def check(baseline: Dict[str, object], candidate: Dict[str, object]) -> List[str
         if ratio < 2.0:
             failures.append(f"baseline swim_full at 6400 nodes is only "
                             f"{ratio:.2f}x the PR 3 constant; need >=2x")
+    pr5 = swim.get("pr5_baseline_6400_ops_per_sec")
+    if point is not None and pr5:
+        ratio = point["ops_per_sec"] / pr5
+        if ratio < 1.5:
+            failures.append(f"baseline swim_full at 6400 nodes is only "
+                            f"{ratio:.2f}x the PR 5 pre-batching constant; "
+                            "need >=1.5x")
 
     return failures
 

@@ -14,6 +14,7 @@ from repro.sim.metrics import (
     Histogram,
     MetricsRegistry,
     TimeSeries,
+    WindowTruncatedError,
 )
 from repro.sim.network import Endpoint, Message, Network, SizedPayload, approx_size
 from repro.sim.process import PeriodicTask, Process
@@ -50,6 +51,7 @@ __all__ = [
     "TimeSeries",
     "TimerHandle",
     "Topology",
+    "WindowTruncatedError",
     "approx_size",
     "geo_distance_km",
 ]

@@ -112,6 +112,9 @@ class HeapEventQueue:
     def __init__(self) -> None:
         self._heap: List[_Entry] = []
         self._seq = itertools.count()
+        #: Total inserts ever; lets batch executors detect that no event was
+        #: scheduled between two points and reuse a cached :meth:`peek_key`.
+        self.pushes = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -124,11 +127,13 @@ class HeapEventQueue:
         seq = next(self._seq)
         event = Event(time, seq, callback, args)
         heappush(self._heap, (time, seq, event))
+        self.pushes += 1
         return event
 
     def push_entry(self, event: Event) -> None:
         """Insert an event whose ``time``/``seq`` are already assigned."""
         heappush(self._heap, (event.time, event.seq, event))
+        self.pushes += 1
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
@@ -157,6 +162,20 @@ class HeapEventQueue:
             heappop(heap)
         if heap:
             return heap[0][0]
+        return None
+
+    def peek_key(self) -> Optional[Tuple[float, int]]:
+        """``(time, seq)`` of the next live event without popping it.
+
+        The network's delivery batcher compares this against its own pending
+        deliveries to decide how many it may flush back-to-back without
+        violating global ``(time, seq)`` order.
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        if heap:
+            return (heap[0][0], heap[0][1])
         return None
 
     def note_cancelled(self) -> None:
@@ -221,6 +240,11 @@ class EventQueue:
         self._overflow: List[_Entry] = []
         self._size = 0
         self._tombstones = 0
+        #: Total inserts ever; lets batch executors detect that no event was
+        #: scheduled between two points and reuse a cached :meth:`peek_key`.
+        #: Compaction and overflow migration move existing entries (they can
+        #: never introduce an earlier head), so neither counts as a push.
+        self.pushes = 0
 
     def __len__(self) -> int:
         return self._size
@@ -251,6 +275,7 @@ class EventQueue:
         else:
             heappush(self._overflow, (time, seq, event))
         self._size += 1
+        self.pushes += 1
         return event
 
     def push_entry(self, event: Event) -> None:
@@ -276,6 +301,7 @@ class EventQueue:
         else:
             heappush(self._overflow, entry)
         self._size += 1
+        self.pushes += 1
 
     def _route(self, entry: _Entry) -> None:
         index = int(entry[0] * self._inv_width)
@@ -368,12 +394,21 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without popping it."""
+        key = self.peek_key()
+        return None if key is None else key[0]
+
+    def peek_key(self) -> Optional[Tuple[float, int]]:
+        """``(time, seq)`` of the next live event without popping it.
+
+        Like :meth:`peek_time` this sweeps tombstones off the front and may
+        promote the next bucket; the first live entry is left in place.
+        """
         while True:
             front = self._front
             while front:
                 entry = front[0]
                 if not entry[2].cancelled:
-                    return entry[0]
+                    return (entry[0], entry[1])
                 heappop(front)
                 self._size -= 1
             if not self._advance():

@@ -18,6 +18,7 @@ Scheduling backends (``scheduler=`` constructor knob):
 
 from __future__ import annotations
 
+import math
 import random
 from heapq import heappop, heappush, heapreplace
 from typing import Any, Callable, Dict, Optional, Tuple
@@ -76,6 +77,10 @@ class Simulator:
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        #: Upper time bound of the innermost active :meth:`run_until`, or
+        #: +inf outside one. Batch executors (the network's delivery classes)
+        #: consult it so a flush never runs past the caller's stop time.
+        self._run_bound = math.inf
 
     # ------------------------------------------------------------------ time
     @property
@@ -167,13 +172,18 @@ class Simulator:
         # Hot loop: one bounded pop per event instead of peek + pop, with the
         # bound check done against the queue head inside the queue.
         pop_before = self._queue.pop_before
-        while True:
-            event = pop_before(time)
-            if event is None:
-                break
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
+        previous_bound = self._run_bound
+        self._run_bound = time
+        try:
+            while True:
+                event = pop_before(time)
+                if event is None:
+                    break
+                self._now = event.time
+                self._events_processed += 1
+                event.callback(*event.args)
+        finally:
+            self._run_bound = previous_bound
         self._now = time
 
     def run(self, max_events: Optional[int] = None) -> int:

@@ -21,6 +21,17 @@ from bisect import bisect_left, bisect_right
 from typing import Dict, Iterable, List, Optional, Tuple
 
 
+class WindowTruncatedError(ValueError):
+    """A window query reached behind a meter's ``horizon`` truncation point.
+
+    Events older than the horizon have been discarded, so the query would
+    silently undercount; raising makes the data loss explicit. Either widen
+    the horizon, query a window starting at or after
+    :attr:`BandwidthMeter.truncated_before`, or use the totals (which never
+    truncate).
+    """
+
+
 class Counter:
     """A monotonically increasing count."""
 
@@ -279,13 +290,16 @@ class _EventLog:
     order) before rebuilding the cache.
     """
 
-    __slots__ = ("times", "sizes", "_prefix", "_unsorted")
+    __slots__ = ("times", "sizes", "_prefix", "_unsorted", "truncated_before")
 
     def __init__(self) -> None:
         self.times: List[float] = []
         self.sizes: List[int] = []
         self._prefix: List[int] = [0]
         self._unsorted = False
+        #: Highest cutoff at which events were actually discarded; window
+        #: queries starting below it raise instead of undercounting.
+        self.truncated_before = -math.inf
 
     def __len__(self) -> int:
         return len(self.times)
@@ -322,9 +336,17 @@ class _EventLog:
             del self.times[:dropped]
             del self.sizes[:dropped]
             self._prefix = [0]
+            if cutoff > self.truncated_before:
+                self.truncated_before = cutoff
         return dropped
 
     def bytes_between(self, start: float, end: float) -> int:
+        if start < self.truncated_before:
+            raise WindowTruncatedError(
+                f"window start {start:g} reaches behind the truncation point "
+                f"{self.truncated_before:g}: events there were discarded by "
+                "the horizon, so the sum would silently undercount"
+            )
         if not self.times:
             return 0
         self._ensure_sorted()
@@ -343,6 +365,7 @@ class _EventLog:
         self.sizes.clear()
         self._prefix = [0]
         self._unsorted = False
+        self.truncated_before = -math.inf
 
 
 class BandwidthMeter:
@@ -356,8 +379,10 @@ class BandwidthMeter:
     behind the newest event are discarded. Totals (``bytes_sent`` etc.) are
     unaffected, and any window query whose ``start`` is at or after
     ``newest - horizon`` returns exactly the untruncated answer (property
-    test in ``tests/test_sim_metrics.py``); older windows under-count, which
-    is the explicit trade for bounded memory on long runs.
+    test in ``tests/test_sim_metrics.py``). A window whose ``start`` falls
+    behind the truncation point raises :class:`WindowTruncatedError` instead
+    of silently under-counting — bounded memory must not read as lower
+    bandwidth.
     """
 
     __slots__ = ("name", "bytes_sent", "bytes_received", "messages_sent",
@@ -429,6 +454,15 @@ class BandwidthMeter:
     def total_bytes(self) -> int:
         return self.bytes_sent + self.bytes_received
 
+    @property
+    def truncated_before(self) -> float:
+        """Earliest time window queries may start without raising.
+
+        ``-inf`` until the horizon actually discards an event; thereafter the
+        highest cutoff that dropped anything (in either direction).
+        """
+        return max(self._sent.truncated_before, self._recv.truncated_before)
+
     def sent_events(self) -> List[Tuple[float, int]]:
         """Recorded ``(time, size)`` send events (test/debug helper)."""
         return self._sent.events()
@@ -441,7 +475,8 @@ class BandwidthMeter:
         """Total bytes (both directions) in ``[start, end]``.
 
         Requires ``record_events=True``. O(log n) in the number of recorded
-        events.
+        events. Raises :class:`WindowTruncatedError` when ``start`` falls
+        behind :attr:`truncated_before` (the horizon discarded events there).
         """
         return self._sent.bytes_between(start, end) + self._recv.bytes_between(
             start, end

@@ -15,6 +15,7 @@ from repro.sim.metrics import (
     Histogram,
     MetricsRegistry,
     TimeSeries,
+    WindowTruncatedError,
 )
 
 
@@ -319,6 +320,58 @@ class TestBandwidthMeterTruncation:
         m = BandwidthMeter("m")
         with pytest.raises(ValueError):
             m.truncate_now()
+
+    def test_window_behind_truncation_point_raises(self):
+        """A query reaching behind the horizon must raise, not undercount:
+        events there are gone, so any number it returned would be wrong."""
+        m = BandwidthMeter("m", horizon=10.0)
+        for t in range(100):
+            m.on_send(float(t), 1)
+        m.truncate_now()
+        assert m.truncated_before == 89.0
+        with pytest.raises(WindowTruncatedError):
+            m.bytes_in_window(0.0, 99.0)
+        with pytest.raises(WindowTruncatedError):
+            m.rate_bps(50.0, 99.0)
+        # Starting exactly at the truncation point is the oldest exact query.
+        assert m.bytes_in_window(89.0, 99.0) == 11
+        assert m.bytes_in_window(95.0, 99.0) == 5
+
+    def test_truncated_before_is_minus_inf_until_events_dropped(self):
+        m = BandwidthMeter("m", horizon=10.0)
+        assert m.truncated_before == -math.inf
+        m.on_send(1.0, 1)
+        m.on_receive(2.0, 1)
+        m.truncate_now()  # nothing older than the horizon: no-op
+        assert m.truncated_before == -math.inf
+        assert m.bytes_in_window(0.0, 5.0) == 2  # pre-truncation starts fine
+
+    def test_truncated_before_tracks_both_directions(self):
+        m = BandwidthMeter("m", horizon=5.0)
+        for t in range(20):
+            m.on_send(float(t), 1)
+        m.on_receive(19.0, 1)
+        m.truncate_now()  # drops sends before 14.0; receive log untouched
+        assert m.truncated_before == 14.0
+        with pytest.raises(WindowTruncatedError):
+            m.bytes_in_window(13.0, 19.0)
+        assert m.bytes_in_window(14.0, 19.0) == 7
+
+    def test_reset_clears_truncation_point(self):
+        m = BandwidthMeter("m", horizon=1.0)
+        for t in range(10):
+            m.on_send(float(t), 1)
+        m.truncate_now()
+        assert m.truncated_before > -math.inf
+        m.reset()
+        assert m.truncated_before == -math.inf
+        m.on_send(0.5, 3)
+        assert m.bytes_in_window(0.0, 1.0) == 3
+
+    def test_window_truncated_error_is_value_error(self):
+        # Callers that already guard bytes_in_window with ValueError keep
+        # working; the subclass only adds precision.
+        assert issubclass(WindowTruncatedError, ValueError)
 
 
 class TestRegistry:
