@@ -1,9 +1,10 @@
 # Developer entry points. `make check` is what CI runs: lint (when ruff is
 # installed), the tier-1 suite, the scheduler-equivalence gate (calendar
-# queue + timer wheel must be bit-identical to the reference heap), and the
-# benchmark regression gate (a quick kernel-bench smoke pass — which
-# re-verifies the hot-path speedups, the membership-backend equivalence
-# checksum, and the seeded-run determinism checksum — compared against the
+# queue + timer wheel + auto backend must be bit-identical to the reference
+# heap), and the benchmark regression gate (a quick kernel-bench smoke pass
+# — which re-verifies the hot-path speedups, the membership-backend
+# equivalence checksum, and the seeded-run determinism checksums for both
+# the v1 and v2 profiles plus the v2 swim_full floor — compared against the
 # committed full-mode BENCH_kernel.json), and the chaos smoke gate (the
 # fault-injection layer stays deterministic and inert when unused).
 

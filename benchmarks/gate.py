@@ -12,7 +12,8 @@ workload so it finishes in seconds), so raw ops/sec are **not** comparable
 across them and are never compared here. What the gate checks is the set of
 invariants that hold on any machine at any size:
 
-* the seeded determinism checksum — a sha256 over a fixed 6-node SWIM run's
+* the seeded determinism checksums — one sha256 per determinism profile
+  (bit-exact ``v1`` and the fast ``v2``) over a fixed 6-node SWIM run's
   event count, metrics counters, and bandwidth meters — must be byte-equal
   between the quick run and the committed baseline, and stable within each;
 * every benchmark recorded in the baseline must still exist (a bench that
@@ -25,7 +26,18 @@ invariants that hold on any machine at any size:
   (a 700x speedup falling to 1x), not a 20% wobble;
 * the committed baseline itself must still honor the PR acceptance bars it
   was committed with (event_loop >= 2x the PR 1 constant, swim_full at 6400
-  nodes >= 2x the PR 3 constant and >= 1.5x the PR 5 pre-batching constant).
+  nodes >= 2x the PR 3 constant and >= 1.5x the PR 5 pre-batching constant,
+  and swim_full under the v2 profile both above the absolute backstop floor
+  and faster than the v1 point measured in the same sweep by the committed
+  ratio — the relative check is the primary one because fresh-process
+  absolute throughput at 6400 nodes swings ~±20% with address-space layout,
+  while both profile arms of one sweep share the same box conditions).
+
+One deliberate non-check: ``net_delivery``'s speedup is node-count-dependent
+(the shared in-flight heap only pays off once the in-flight population is
+dense; at quick mode's 400 nodes it hovers around 1x — see the direct-post
+hybrid in ``sim/network.py``), and since its committed full-mode speedup
+sits below the noise ceiling the fractional band never applies to it.
 """
 
 from __future__ import annotations
@@ -65,13 +77,18 @@ def check(baseline: Dict[str, object], candidate: Dict[str, object]) -> List[str
     for label, det in (("baseline", base_det), ("candidate", cand_det)):
         if not det.get("stable"):
             failures.append(f"{label} seeded run was not deterministic")
-    if base_det.get("checksum") != cand_det.get("checksum"):
-        failures.append(
-            "determinism checksum drifted: baseline "
-            f"{str(base_det.get('checksum'))[:16]}… vs candidate "
-            f"{str(cand_det.get('checksum'))[:16]}… — the seeded 6-node SWIM "
-            "run no longer produces the committed event/byte totals"
-        )
+        if not det.get("stable_v2"):
+            failures.append(f"{label} seeded v2-profile run was not "
+                            "deterministic")
+    for key, profile in (("checksum", "v1"), ("checksum_v2", "v2")):
+        if base_det.get(key) != cand_det.get(key):
+            failures.append(
+                f"{profile} determinism checksum drifted: baseline "
+                f"{str(base_det.get(key))[:16]}… vs candidate "
+                f"{str(cand_det.get(key))[:16]}… — the seeded 6-node SWIM "
+                f"run no longer produces the committed {profile} event/byte "
+                "totals"
+            )
 
     base_results = baseline.get("results", {})
     cand_results = candidate.get("results", {})
@@ -128,6 +145,25 @@ def check(baseline: Dict[str, object], candidate: Dict[str, object]) -> List[str
             failures.append(f"baseline swim_full at 6400 nodes is only "
                             f"{ratio:.2f}x the PR 5 pre-batching constant; "
                             "need >=1.5x")
+    swim_v2 = sweep.get("swim_full_v2", {})
+    v2_point = swim_v2.get("points", {}).get("6400")
+    v2_floor = swim_v2.get("floor_6400_ops_per_sec")
+    if v2_point is not None and v2_floor:
+        if v2_point["ops_per_sec"] < v2_floor:
+            failures.append(
+                f"baseline swim_full v2 at 6400 nodes is "
+                f"{v2_point['ops_per_sec']:.0f} ev/s; the committed absolute "
+                f"floor is {v2_floor:.0f} ev/s"
+            )
+    min_speedup = swim_v2.get("min_speedup_6400_vs_v1")
+    if v2_point is not None and min_speedup:
+        v2_speedup = v2_point.get("speedup_vs_v1")
+        if v2_speedup is not None and v2_speedup < min_speedup:
+            failures.append(
+                f"baseline swim_full v2 at 6400 nodes is only "
+                f"{v2_speedup:.2f}x the v1 point from the same sweep; "
+                f"need >={min_speedup:.2f}x"
+            )
 
     return failures
 

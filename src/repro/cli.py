@@ -56,11 +56,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    demo = subparsers.add_parser("demo", help="groups forming + sample queries")
+    # Shared by every subcommand that builds a simulated cluster: which
+    # determinism profile the simulator runs. "v1" is the bit-exact
+    # reference stream; "v2" is the fast profile (batched numpy RNG, arena
+    # message records, GC-frozen hot state) — still seeded-reproducible,
+    # but a different byte stream, so don't diff v1 and v2 outputs.
+    profiled = argparse.ArgumentParser(add_help=False)
+    profiled.add_argument(
+        "--profile", choices=["v1", "v2"], default="v1",
+        help="determinism profile: v1 = bit-exact reference (default), "
+             "v2 = fast (batched RNG + arena records; different but "
+             "equally reproducible stream)",
+    )
+
+    demo = subparsers.add_parser("demo", parents=[profiled],
+                                 help="groups forming + sample queries")
     demo.add_argument("--nodes", type=int, default=64)
     demo.add_argument("--seed", type=int, default=7)
 
-    query = subparsers.add_parser("query", help="ad-hoc query against a cluster")
+    query = subparsers.add_parser("query", parents=[profiled],
+                                  help="ad-hoc query against a cluster")
     query.add_argument("--nodes", type=int, default=64)
     query.add_argument("--seed", type=int, default=7)
     query.add_argument("--limit", type=int, default=None)
@@ -69,7 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ATTR>=VALUE",
     )
 
-    trace = subparsers.add_parser("trace", help="synthetic Chameleon trace replay")
+    trace = subparsers.add_parser("trace", parents=[profiled],
+                                  help="synthetic Chameleon trace replay")
     trace.add_argument("--nodes", type=int, default=200)
     trace.add_argument("--events", type=int, default=200)
     trace.add_argument("--seed", type=int, default=33)
@@ -108,8 +124,10 @@ def cmd_demo(args) -> int:
     """``demo``: build a cluster, show group formation and sample queries."""
     from repro.harness import build_focus_cluster, drain, run_query
 
-    print(f"Building {args.nodes} nodes (seed {args.seed})...")
-    scenario = build_focus_cluster(args.nodes, seed=args.seed)
+    print(f"Building {args.nodes} nodes (seed {args.seed}, "
+          f"profile {args.profile})...")
+    scenario = build_focus_cluster(args.nodes, seed=args.seed,
+                                   profile=args.profile)
     drain(scenario, 15.0)
     groups = [g for g in scenario.service.dgm.groups.all_groups()
               if g.size_estimate() > 0]
@@ -133,7 +151,8 @@ def cmd_query(args) -> int:
     from repro.harness import build_focus_cluster, drain, run_query
 
     query = Query(args.terms, limit=args.limit, freshness_ms=0.0)
-    scenario = build_focus_cluster(args.nodes, seed=args.seed)
+    scenario = build_focus_cluster(args.nodes, seed=args.seed,
+                                   profile=args.profile)
     drain(scenario, 15.0)
     response = run_query(scenario, query)
     print(f"{len(response.matches)} matches "
@@ -156,6 +175,7 @@ def cmd_trace(args) -> int:
     scenario = build_focus_cluster(
         args.nodes, seed=args.seed, config=_Config(cache_enabled=False),
         warm_start=True, with_store=False, record_bandwidth_events=False,
+        profile=args.profile,
     )
     drain(scenario, 3.0)
     generator = ChameleonTraceGenerator(seed=1)

@@ -196,8 +196,11 @@ class SerfAgent(SwimAgent):
 
     # ------------------------------------------------------------ gossip hook
     def handle_custom_update(self, wire: Dict[str, object]) -> None:
-        kind = wire.get("t")
-        event_id = wire.get("id")
+        # Only reachable for wires whose "t" routed them here, and every
+        # event/query wire carries an "id" — plain subscripts, this runs once
+        # per piggybacked update on every gossip delivery.
+        kind = wire["t"]
+        event_id = wire["id"]
         if event_id in self._seen:
             return
         self._remember(event_id)

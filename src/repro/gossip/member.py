@@ -95,6 +95,60 @@ class Member:
         return f"<Member {self.name} {self.state.value} inc={self.incarnation}>"
 
 
+class GossipDrawBlock:
+    """Amortized k-of-n index draws for the v2 profile's gossip sampling.
+
+    ``Generator.integers`` pays a few microseconds of pure-Python argument
+    handling before the C draw, which at one call per gossip tick undid its
+    win over ``rng.sample``. Indices are therefore drawn a block at a time
+    and consumed from a plain list; the block is discarded whenever the
+    candidate count changes so every index stays uniform over the current
+    population. The (bound, draw) consumption sequence is a pure function
+    of the generator state and the alive-count history — identical in both
+    membership backends — so v2 runs stay byte-identical across backends.
+
+    The block is sized for the per-agent consumption rate (a handful of
+    draws per gossip tick): large blocks made the *first* refill of every
+    agent in a big sweep generate three orders of magnitude more draws
+    than the run consumed.
+    """
+
+    __slots__ = ("_block", "_pos", "_bound")
+
+    SIZE = 64
+
+    def __init__(self) -> None:
+        self._block: List[int] = []
+        self._pos = 0
+        self._bound = -1
+
+    def draw(self, np_rng, count: int, k: int) -> List[int]:
+        """``k`` distinct uniform indices in ``[0, count)`` via rejection.
+
+        ``k`` is the gossip fanout (tiny) while ``count`` is the alive
+        population, so collisions are rare and the expected cost is ``k``
+        list reads.
+        """
+        if self._bound != count:
+            self._block = []
+            self._pos = 0
+            self._bound = count
+        block = self._block
+        pos = self._pos
+        picked: List[int] = []
+        while len(picked) < k:
+            if pos >= len(block):
+                block = np_rng.integers(0, count, size=self.SIZE).tolist()
+                self._block = block
+                pos = 0
+            d = block[pos]
+            pos += 1
+            if d not in picked:
+                picked.append(d)
+        self._pos = pos
+        return picked
+
+
 class MemberList:
     """An agent's local view of the group."""
 
@@ -104,6 +158,7 @@ class MemberList:
         self._alive_cache: Optional[List[Member]] = None
         self._alive_count = 0
         self._suspicion_deadlines: Dict[str, float] = {}
+        self._gossip_draws = GossipDrawBlock()
 
     def __contains__(self, name: str) -> bool:
         return name in self._members
@@ -158,6 +213,12 @@ class MemberList:
         """Number of alive members, maintained incrementally (O(1))."""
         return self._alive_count
 
+    def prewarm(self) -> None:
+        """Backend-API twin of ``MembershipTable.prewarm``: build the lazy
+        alive view at agent start instead of inside a measured region.
+        Pure caching — runs are byte-identical with or without it."""
+        self.alive()
+
     def alive(self, *, exclude_self: bool = False) -> List[Member]:
         if self._alive_cache is None:
             self._alive_cache = [
@@ -169,6 +230,21 @@ class MemberList:
 
     def alive_names(self, *, exclude_self: bool = False) -> List[str]:
         return [m.name for m in self.alive(exclude_self=exclude_self)]
+
+    def permuted_alive_names(
+        self, np_rng, *, exclude_self: bool = False
+    ) -> List[str]:
+        """Alive names permuted by a numpy ``Generator`` (v2 profile).
+
+        Matches ``MembershipTable.permuted_alive_names`` draw-for-draw: both
+        permute the same insertion-ordered alive view with one
+        ``Generator.permutation(n)`` call, so the two backends stay
+        bit-identical under v2 just as they are under v1.
+        """
+        names = self.alive_names(exclude_self=exclude_self)
+        if len(names) < 2:
+            return names
+        return [names[i] for i in np_rng.permutation(len(names))]
 
     def suspects(self) -> List[Member]:
         return [m for m in self._members.values() if m.state == MemberState.SUSPECT]
@@ -200,6 +276,22 @@ class MemberList:
             return []
         sampled = rng.sample(peers, min(max_fanout, len(peers)))
         return [member.address for member in sampled]
+
+    def gossip_targets_v2(self, np_rng, max_fanout: int) -> List[str]:
+        """v2-profile twin of :meth:`gossip_targets`; identical algorithm to
+        ``MembershipTable.gossip_targets_v2`` over the same insertion-ordered
+        alive view, so the two backends consume the generator identically."""
+        peers = self.alive(exclude_self=True)
+        count = len(peers)
+        if not count:
+            return []
+        if max_fanout >= count:
+            if count == 1:
+                return [peers[0].address]
+            perm = np_rng.permutation(count)
+            return [peers[i].address for i in perm.tolist()]
+        picked = self._gossip_draws.draw(np_rng, count, max_fanout)
+        return [peers[d].address for d in picked]
 
     def sync_peer(self, rng: random.Random) -> Optional[str]:
         """Address of one random alive peer for push-pull anti-entropy."""

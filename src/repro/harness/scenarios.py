@@ -101,14 +101,20 @@ def build_focus_cluster(
     collector_factory: Optional[Callable[[NodeAgent], Callable[[], Dict[str, float]]]] = None,
     record_bandwidth_events: bool = True,
     node_factory: Optional[Callable[[int, str], Dict[str, object]]] = None,
+    profile: str = "v1",
 ) -> FocusScenario:
     """Build the paper's evaluation deployment with ``num_nodes`` agents.
 
     Pass the same ``node_factory`` used for a baseline deployment to compare
     systems over an identical node population (Fig. 7a requires this).
+
+    ``profile`` selects the simulator's determinism profile: ``"v1"``
+    (default) is the bit-exact reference stream; ``"v2"`` is the fast
+    profile (batched numpy RNG, arena message records) — seeded results
+    stay reproducible but are a different byte stream than v1's.
     """
     config = config or FocusConfig()
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, profile=profile)
     network = Network(
         sim,
         topology or Topology(),

@@ -38,7 +38,7 @@ class Event:
     firings instead of allocating a new object per period.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "recyclable")
 
     def __init__(
         self,
@@ -52,6 +52,11 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Fire-and-forget events (``Simulator.post`` under the v2 profile)
+        #: return to the simulator's event pool after firing instead of being
+        #: garbage; only ``post``-created events may be marked — anything
+        #: reachable through a TimerHandle must never be reused.
+        self.recyclable = False
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -452,3 +457,117 @@ class EventQueue:
         self._overflow = []
         self._size = 0
         self._tombstones = 0
+
+
+#: Live-queue width at which the ``"auto"`` scheduler backend migrates from
+#: the plain binary heap to the calendar queue. Measured on the kernel
+#: benchmark's timer-density workload (see benchmarks/README.md): below
+#: ~1–2k pending events the heap's tighter constant factors win (a few
+#: hundred one-shot deadlines sift in O(log n) with n tiny), while at SWIM
+#: densities of 1600+ nodes the wheel's O(1) bucket appends pull ahead and
+#: keep widening with population. 2048 sits in the flat middle of the
+#: crossover band; the exact value is not sensitive within 2x either way.
+AUTO_CALENDAR_THRESHOLD = 2048
+
+
+class AutoEventQueue:
+    """Width-adaptive scheduler: binary heap first, calendar queue at scale.
+
+    Coalesced workloads (timer wheel + delivery batching keep one sentinel
+    per class) hold the live queue narrow, where :class:`HeapEventQueue` is
+    the faster backend; workloads with many distinct one-shot deadlines
+    (per-message timeouts, uncoalesced deliveries) grow the live width, where
+    the calendar queue's O(1) bucket inserts win. This facade starts on the
+    heap and, the first time the live width crosses ``threshold``, migrates
+    every pending entry into a fresh :class:`EventQueue` — preserving each
+    event's already-assigned ``(time, seq)`` key and sharing one sequence
+    counter across the switch, so the drain order (and therefore any seeded
+    run) is bit-identical to either backend run alone. The upgrade is
+    one-way: a width that shrinks back stays on the calendar queue, whose
+    disadvantage at small widths is a constant factor, not a blowup.
+    """
+
+    def __init__(
+        self,
+        bucket_width: float = DEFAULT_BUCKET_WIDTH,
+        wheel_span: int = DEFAULT_WHEEL_SPAN,
+        threshold: int = AUTO_CALENDAR_THRESHOLD,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self._backend: object = HeapEventQueue()
+        self._bucket_width = bucket_width
+        self._wheel_span = wheel_span
+        self._threshold = threshold
+        self._upgraded = False
+        # The facade owns the shared sequence counter and insert counter;
+        # batch executors bind `_seq.__next__` / read `pushes` off whatever
+        # object `sim._queue` is, which is this facade for "auto" runs.
+        self._seq = self._backend._seq
+        self.pushes = 0
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+    @property
+    def backend_name(self) -> str:
+        """``"heap"`` until the width crossover, ``"calendar"`` after."""
+        return "calendar" if self._upgraded else "heap"
+
+    def alloc_seq(self) -> int:
+        """Reserve the next ordering sequence number (for the timer wheel)."""
+        return next(self._seq)
+
+    def _upgrade(self) -> None:
+        """Migrate every live entry from the heap into a calendar queue.
+
+        Entries keep their assigned ``(time, seq)`` keys and the calendar
+        queue adopts the shared sequence counter, so ordering across the
+        switch is exactly what either backend alone would produce.
+        Tombstoned (cancelled) entries are dropped during the move.
+        """
+        heap_backend = self._backend
+        calendar = EventQueue(
+            bucket_width=self._bucket_width, wheel_span=self._wheel_span
+        )
+        calendar._seq = self._seq
+        live = 0
+        for entry in heap_backend._heap:
+            if not entry[2].cancelled:
+                calendar._route(entry)
+                live += 1
+        calendar._size = live
+        heap_backend.clear()
+        self._backend = calendar
+        self._upgraded = True
+
+    def push(self, time: float, callback: Callable[..., Any], args: tuple) -> Event:
+        event = self._backend.push(time, callback, args)
+        self.pushes += 1
+        if not self._upgraded and len(self._backend) >= self._threshold:
+            self._upgrade()
+        return event
+
+    def push_entry(self, event: Event) -> None:
+        self._backend.push_entry(event)
+        self.pushes += 1
+        if not self._upgraded and len(self._backend) >= self._threshold:
+            self._upgrade()
+
+    def pop(self) -> Optional[Event]:
+        return self._backend.pop()
+
+    def pop_before(self, bound: float) -> Optional[Event]:
+        return self._backend.pop_before(bound)
+
+    def peek_time(self) -> Optional[float]:
+        return self._backend.peek_time()
+
+    def peek_key(self) -> Optional[Tuple[float, int]]:
+        return self._backend.peek_key()
+
+    def note_cancelled(self) -> None:
+        self._backend.note_cancelled()
+
+    def clear(self) -> None:
+        self._backend.clear()

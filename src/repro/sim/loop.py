@@ -14,17 +14,59 @@ Scheduling backends (``scheduler=`` constructor knob):
 * ``"heap"`` — the original single binary heap with per-timer scheduling,
   kept so equivalence tests and benchmarks can A/B the two. Both backends
   produce bit-identical event order and RNG draws for the same seed.
+* ``"auto"`` — starts on the heap (cheapest at small live-queue widths) and
+  migrates every pending event into the calendar queue once the live width
+  crosses :data:`~repro.sim.events.AUTO_CALENDAR_THRESHOLD`. Both backends
+  drain in identical ``(time, seq)`` order, so the switch is invisible to
+  seeded runs.
+
+Determinism profiles (``profile=`` constructor knob):
+
+* ``"v1"`` (default) — the bit-exact reference: every random draw comes from
+  per-component ``random.Random`` streams, one Python-level draw at a time.
+  The seeded kernel checksum is pinned in ``BENCH_kernel.json`` and must
+  never move.
+* ``"v2"`` — the fast profile: components may replace per-element draws with
+  batched ``numpy.random.Generator`` draws (probe-order permutations, block
+  jitter/loss sampling) and per-message Python objects with arena records.
+  Runs are still fully deterministic — same seed, same byte stream — but the
+  stream *differs* from v1, so v2 carries its own pinned checksum
+  (``checksum_v2``) and is validated against v1 statistically (same
+  convergence/detection distributions) rather than byte-for-byte.
+
+Long-lived state (membership tables, the node directory, interning pools)
+can be pinned out of the cyclic collector's reach after warmup via
+:meth:`Simulator.freeze_hot_state`, with the collection thresholds tuned
+through the ``gc_thresholds`` knob — see that method's docstring.
 """
 
 from __future__ import annotations
 
+import gc
+import hashlib
 import math
 import random
 from heapq import heappop, heappush, heapreplace
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, EventQueue, HeapEventQueue, TimerHandle
+from repro.sim.events import (
+    AutoEventQueue,
+    Event,
+    EventQueue,
+    HeapEventQueue,
+    TimerHandle,
+)
+
+#: Valid determinism profiles; see the module docstring.
+PROFILES = ("v1", "v2")
+
+#: Default GC thresholds applied by :meth:`Simulator.freeze_hot_state` under
+#: profile v2 when the constructor got no explicit ``gc_thresholds``: a much
+#: larger gen0 allocation budget (protocol traffic allocates heavily but
+#: almost everything dies young) and gen1/gen2 promotion factors high enough
+#: that full collections essentially never run inside a timed region.
+V2_GC_THRESHOLDS = (50_000, 50, 50)
 
 
 class Simulator:
@@ -44,6 +86,16 @@ class Simulator:
         firing. Ordering is bit-identical either way.
     bucket_width / wheel_span:
         Calendar-queue geometry, forwarded to :class:`EventQueue`.
+    profile:
+        Determinism profile, ``"v1"`` (default, bit-exact) or ``"v2"``
+        (fast; batched numpy RNG + arena message records). Components read
+        :attr:`profile` at construction to pick their draw strategy; see the
+        module docstring.
+    gc_thresholds:
+        Optional ``(gen0, gen1, gen2)`` tuple applied (process-wide) by
+        :meth:`freeze_hot_state` and restored by :meth:`unfreeze_hot_state`.
+        Defaults to :data:`V2_GC_THRESHOLDS` under profile v2 and to
+        "leave the interpreter's thresholds alone" under v1.
     """
 
     def __init__(
@@ -54,23 +106,52 @@ class Simulator:
         coalesce_timers: bool = True,
         bucket_width: Optional[float] = None,
         wheel_span: Optional[int] = None,
+        profile: str = "v1",
+        gc_thresholds: Optional[Tuple[int, int, int]] = None,
     ) -> None:
         self.seed = seed
         self.rng = random.Random(seed)
-        if scheduler == "calendar":
+        if profile not in PROFILES:
+            raise SimulationError(
+                f"unknown determinism profile {profile!r} "
+                f"(expected one of {PROFILES})"
+            )
+        self.profile = profile
+        if gc_thresholds is None and profile == "v2":
+            gc_thresholds = V2_GC_THRESHOLDS
+        if gc_thresholds is not None:
+            gc_thresholds = tuple(int(t) for t in gc_thresholds)
+            if len(gc_thresholds) != 3 or any(t <= 0 for t in gc_thresholds):
+                raise SimulationError(
+                    f"gc_thresholds must be three positive ints, "
+                    f"got {gc_thresholds!r}"
+                )
+        self.gc_thresholds = gc_thresholds
+        self._gc_frozen = False
+        self._gc_prev_thresholds: Optional[Tuple[int, int, int]] = None
+        if scheduler == "calendar" or scheduler == "auto":
             kwargs = {}
             if bucket_width is not None:
                 kwargs["bucket_width"] = bucket_width
             if wheel_span is not None:
                 kwargs["wheel_span"] = wheel_span
-            self._queue = EventQueue(**kwargs)
+            if scheduler == "auto":
+                self._queue = AutoEventQueue(**kwargs)
+            else:
+                self._queue = EventQueue(**kwargs)
         elif scheduler == "heap":
             self._queue = HeapEventQueue()
         else:
             raise SimulationError(
-                f"unknown scheduler {scheduler!r} (expected 'calendar' or 'heap')"
+                f"unknown scheduler {scheduler!r} "
+                "(expected 'calendar', 'heap' or 'auto')"
             )
         self.scheduler = scheduler
+        #: v2: fired fire-and-forget events return here and are reused by the
+        #: next ``post`` instead of being allocated fresh (slot storage for
+        #: queued records — only ``post``-created events are pooled; anything
+        #: a TimerHandle can still reach is never reused).
+        self._event_pool: Optional[list] = [] if profile == "v2" else None
         self._wheel: Optional[TimerWheel] = (
             TimerWheel(self) if coalesce_timers else None
         )
@@ -123,7 +204,18 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay:.6f}s in the past")
-        self._queue.push(self._now + delay, callback, args)
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = self._now + delay
+            event.seq = self._queue.alloc_seq()
+            event.callback = callback
+            event.args = args
+            self._queue.push_entry(event)
+        else:
+            event = self._queue.push(self._now + delay, callback, args)
+            if pool is not None:
+                event.recyclable = True
 
     def call_every(
         self,
@@ -172,16 +264,31 @@ class Simulator:
         # Hot loop: one bounded pop per event instead of peek + pop, with the
         # bound check done against the queue head inside the queue.
         pop_before = self._queue.pop_before
+        pool = self._event_pool
         previous_bound = self._run_bound
         self._run_bound = time
         try:
-            while True:
-                event = pop_before(time)
-                if event is None:
-                    break
-                self._now = event.time
-                self._events_processed += 1
-                event.callback(*event.args)
+            if pool is None:
+                while True:
+                    event = pop_before(time)
+                    if event is None:
+                        break
+                    self._now = event.time
+                    self._events_processed += 1
+                    event.callback(*event.args)
+            else:
+                recycle = pool.append
+                while True:
+                    event = pop_before(time)
+                    if event is None:
+                        break
+                    self._now = event.time
+                    self._events_processed += 1
+                    event.callback(*event.args)
+                    if event.recyclable:
+                        event.callback = None
+                        event.args = ()
+                        recycle(event)
         finally:
             self._run_bound = previous_bound
         self._now = time
@@ -203,6 +310,68 @@ class Simulator:
     def derive_rng(self, label: str) -> random.Random:
         """Create an independent RNG stream keyed by ``label`` and the seed."""
         return random.Random(f"{self.seed}/{label}")
+
+    def derive_np_rng(self, label: str):
+        """Independent ``numpy.random.Generator`` keyed by ``label`` + seed.
+
+        Seeded through a sha256 digest of the same ``"{seed}/{label}"`` string
+        :meth:`derive_rng` hashes, so the stream is stable across platforms
+        and interpreter hash randomization. Used by profile-v2 components for
+        batched draws; the lazy import keeps ``repro.sim.loop`` importable
+        where numpy is absent (numpy is only required once v2 is selected).
+        """
+        import numpy as np
+
+        digest = hashlib.sha256(f"{self.seed}/{label}".encode()).digest()
+        return np.random.default_rng(int.from_bytes(digest[:16], "little"))
+
+    # ------------------------------------------------------------------- gc
+    def freeze_hot_state(self) -> Dict[str, object]:
+        """Pin all currently-live objects out of the cyclic collector.
+
+        Intended to run once, after warmup (topology built, agents started,
+        membership pre-seeded): a full collection sweeps the construction
+        garbage, ``gc.freeze`` moves every survivor — membership tables, the
+        node directory, interning pools, the event queue — to the permanent
+        generation, and the collection thresholds are raised to
+        :attr:`gc_thresholds` (when set) so the young generations stop
+        promoting protocol traffic into gen2 scans. This changes *no* event
+        ordering or RNG draw — it is purely an allocator/GC lever, safe under
+        either determinism profile.
+
+        Both ``gc.freeze`` and ``gc.set_threshold`` are process-global;
+        :meth:`unfreeze_hot_state` undoes both (benchmarks that build several
+        simulators back to back must call it, or each frozen population
+        leaks into the next run's heap). Returns a stats dict — frozen-object
+        count, per-generation ``gc.get_stats()`` before/after — which the
+        kernel benchmark uploads as a CI artifact so GC-pressure regressions
+        stay visible in PRs.
+        """
+        stats_before = gc.get_stats()
+        collected = gc.collect()
+        gc.freeze()
+        if self.gc_thresholds is not None and not self._gc_frozen:
+            self._gc_prev_thresholds = gc.get_threshold()
+            gc.set_threshold(*self.gc_thresholds)
+        self._gc_frozen = True
+        return {
+            "collected": collected,
+            "frozen": gc.get_freeze_count(),
+            "thresholds": list(gc.get_threshold()),
+            "stats_before": stats_before,
+            "stats_after": gc.get_stats(),
+        }
+
+    def unfreeze_hot_state(self) -> None:
+        """Undo :meth:`freeze_hot_state`: thaw the permanent generation and
+        restore the interpreter's previous collection thresholds."""
+        if not self._gc_frozen:
+            return
+        gc.unfreeze()
+        if self._gc_prev_thresholds is not None:
+            gc.set_threshold(*self._gc_prev_thresholds)
+            self._gc_prev_thresholds = None
+        self._gc_frozen = False
 
 
 class _IntervalClass:

@@ -236,13 +236,19 @@ class Histogram:
 class TimeSeries:
     """Append-only ``(time, value)`` samples with windowed aggregation."""
 
-    __slots__ = ("name", "samples", "_times", "_prefix", "_unsorted")
+    __slots__ = ("name", "samples", "_times", "_prefix", "_comp", "_unsorted")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.samples: List[Tuple[float, float]] = []
         self._times: List[float] = []
+        # Neumaier-compensated prefix sums: _prefix[i] holds the rounded
+        # running sum, _comp[i] the accumulated rounding error, so a window
+        # sum (prefix[hi]-prefix[lo]) + (comp[hi]-comp[lo]) stays accurate
+        # even when a tiny window follows samples many orders of magnitude
+        # larger (plain prefix differences cancel catastrophically there).
         self._prefix: List[float] = [0.0]
+        self._comp: List[float] = [0.0]
         self._unsorted = False
 
     def record(self, time: float, value: float) -> None:
@@ -260,6 +266,7 @@ class TimeSeries:
             self.samples.sort(key=lambda sample: sample[0])
             self._times = [t for t, _ in self.samples]
             self._prefix = [0.0]
+            self._comp = [0.0]
             self._unsorted = False
         return bisect_left(self._times, start), bisect_right(self._times, end)
 
@@ -272,12 +279,20 @@ class TimeSeries:
         if hi <= lo:
             return math.nan
         prefix = self._prefix
+        comp = self._comp
         if len(prefix) <= len(self.samples):
             total = prefix[-1]
+            error = comp[-1]
             for _, value in self.samples[len(prefix) - 1:]:
-                total += value
+                new_total = total + value
+                if abs(total) >= abs(value):
+                    error += (total - new_total) + value
+                else:
+                    error += (value - new_total) + total
+                total = new_total
                 prefix.append(total)
-        return (prefix[hi] - prefix[lo]) / (hi - lo)
+                comp.append(error)
+        return ((prefix[hi] - prefix[lo]) + (comp[hi] - comp[lo])) / (hi - lo)
 
 
 class _EventLog:
@@ -387,7 +402,7 @@ class BandwidthMeter:
 
     __slots__ = ("name", "bytes_sent", "bytes_received", "messages_sent",
                  "messages_received", "_sent", "_recv", "record_events",
-                 "horizon", "_since_truncate")
+                 "horizon", "_since_truncate", "_oldest", "_newest")
 
     #: How many recorded events between truncation sweeps (amortises the
     #: O(dropped) list surgery to O(1) per event).
@@ -412,6 +427,11 @@ class BandwidthMeter:
         self.record_events = record_events
         self.horizon = horizon
         self._since_truncate = 0
+        # Aggregate mode (record_events=False): the observed time span, so
+        # window queries that cover every event can still answer exactly
+        # from the totals.
+        self._oldest = math.inf
+        self._newest = -math.inf
 
     def on_send(self, time: float, size: int) -> None:
         self.bytes_sent += size
@@ -420,6 +440,35 @@ class BandwidthMeter:
             self._sent.append(time, size)
             if self.horizon is not None:
                 self._maybe_truncate(time)
+        else:
+            if time < self._oldest:
+                self._oldest = time
+            if time > self._newest:
+                self._newest = time
+
+    def on_send_many(self, time: float, size: int, count: int) -> None:
+        """``count`` same-sized sends at one instant (fan-out fast path).
+
+        Identical observable state to ``count`` ``on_send`` calls: the event
+        log gains ``count`` entries and the truncation cadence advances once
+        per entry, so window queries and horizon sweeps are unchanged.
+        """
+        self.bytes_sent += size * count
+        self.messages_sent += count
+        if self.record_events:
+            append = self._sent.append
+            if self.horizon is not None:
+                for _ in range(count):
+                    append(time, size)
+                    self._maybe_truncate(time)
+            else:
+                for _ in range(count):
+                    append(time, size)
+        else:
+            if time < self._oldest:
+                self._oldest = time
+            if time > self._newest:
+                self._newest = time
 
     def on_receive(self, time: float, size: int) -> None:
         self.bytes_received += size
@@ -428,6 +477,11 @@ class BandwidthMeter:
             self._recv.append(time, size)
             if self.horizon is not None:
                 self._maybe_truncate(time)
+        else:
+            if time < self._oldest:
+                self._oldest = time
+            if time > self._newest:
+                self._newest = time
 
     def _maybe_truncate(self, time: float) -> None:
         self._since_truncate += 1
@@ -474,10 +528,24 @@ class BandwidthMeter:
     def bytes_in_window(self, start: float, end: float) -> int:
         """Total bytes (both directions) in ``[start, end]``.
 
-        Requires ``record_events=True``. O(log n) in the number of recorded
+        With ``record_events=True``: O(log n) in the number of recorded
         events. Raises :class:`WindowTruncatedError` when ``start`` falls
         behind :attr:`truncated_before` (the horizon discarded events there).
+
+        With ``record_events=False`` (aggregate mode, the v2 profile's
+        default): answers exactly — from the running totals — whenever the
+        window covers every event the meter has seen, and raises
+        :class:`WindowTruncatedError` for partial windows, whose per-event
+        breakdown was never recorded.
         """
+        if not self.record_events:
+            if start <= self._oldest and end >= self._newest:
+                return self.bytes_sent + self.bytes_received
+            raise WindowTruncatedError(
+                f"meter {self.name!r} records aggregates only "
+                f"(record_events=False); window [{start}, {end}] does not "
+                f"cover the observed span [{self._oldest}, {self._newest}]"
+            )
         return self._sent.bytes_between(start, end) + self._recv.bytes_between(
             start, end
         )

@@ -29,12 +29,23 @@ the store's quorum behaviour and SWIM's suspicion mechanism. Blocks and
 partitions are re-checked at delivery time, so a fault injected while a
 message is in flight still stops it (counted under
 ``messages_dropped.blocked_in_flight`` / ``.partitioned_in_flight``).
+
+Determinism profiles: under the simulator's default ``v1`` profile every
+loss/jitter draw comes one-at-a-time from ``random.Random`` and every
+in-flight message is a :class:`Message` object — byte-identical to the
+original reference implementation. Under ``v2`` (see ``sim/loop.py``) the
+same draws are taken in blocks of :data:`UNIFORM_BLOCK` from a numpy
+``Generator`` and consumed in send order, and in-flight records live in a
+:class:`MessageArena` (parallel lists plus a free list, heap entries carry
+integer slots, one flyweight ``Message`` is refilled per delivery). Event
+*order* is identical between profiles — only the RNG byte stream differs —
+which is what the v1-vs-v2 statistical-equivalence suite checks.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Callable, Dict, FrozenSet, List, Optional, Protocol, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.sim.events import Event
@@ -44,6 +55,21 @@ from repro.sim.topology import Topology
 
 #: Fixed per-message framing overhead (UDP/IP or minimal HTTP), bytes.
 MESSAGE_OVERHEAD_BYTES = 60
+
+#: Uniform draws taken per numpy batch under the ``v2`` profile. Big enough
+#: that the per-block ``Generator.random`` + ``tolist`` overhead amortises to
+#: ~30 ns/draw; small enough that short runs don't waste draws.
+UNIFORM_BLOCK = 1024
+
+#: Below this many in-flight batched messages, ``send`` posts a per-message
+#: delivery event directly instead of parking the message in the shared
+#: heap. At low density the sentinel is retargeted on nearly every send
+#: (tombstone + re-push), which is strictly more queue work than one plain
+#: post — the measured source of the 0.95x ``net_delivery`` quick-bench
+#: point at 400 nodes (see benchmarks/README.md). Both paths allocate the
+#: delivery ``(time, seq)`` key from the same shared counter, so any mix of
+#: them drains in exactly the same order and the run stays byte-identical.
+DIRECT_POST_MAX = 8
 
 
 class SizedPayload:
@@ -135,6 +161,90 @@ class Message:
         return f"<Message {self.kind} {self.src}->{self.dst} {self.size}B>"
 
 
+class MessageArena:
+    """Slot storage for in-flight messages: parallel lists plus a free list.
+
+    Each in-flight message occupies one integer slot across six parallel
+    lists instead of one six-field Python object, so a run with hundreds of
+    thousands of sends creates no per-message objects for the GC to trace —
+    the lists are long-lived and (after :meth:`~repro.sim.loop.Simulator.
+    freeze_hot_state`) frozen. Slots are recycled LIFO through ``_free``;
+    both allocation and release happen in event order, so slot assignment is
+    deterministic. Capacity doubles on exhaustion and never shrinks.
+
+    :meth:`load` refills a caller-owned flyweight :class:`Message` from a
+    slot; the flyweight is only valid until the next ``load``. Delivery
+    handlers and taps read the message synchronously, so they never notice —
+    but a handler that *retains* the message object (rather than its fields)
+    must run under the v1 profile, which keeps one object per message.
+    """
+
+    __slots__ = ("kind", "payload", "src", "dst", "size", "sent_at",
+                 "_free", "capacity")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.kind: List[Optional[str]] = [None] * capacity
+        self.payload: List[object] = [None] * capacity
+        self.src: List[Optional[str]] = [None] * capacity
+        self.dst: List[Optional[str]] = [None] * capacity
+        self.size: List[int] = [0] * capacity
+        self.sent_at: List[float] = [0.0] * capacity
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self.capacity = capacity
+
+    def __len__(self) -> int:
+        """Number of live (allocated) slots."""
+        return self.capacity - len(self._free)
+
+    def alloc(self, kind: str, payload: object, src: str, dst: str,
+              size: int, sent_at: float) -> int:
+        free = self._free
+        if not free:
+            self._grow()
+            free = self._free
+        slot = free.pop()
+        self.kind[slot] = kind
+        self.payload[slot] = payload
+        self.src[slot] = src
+        self.dst[slot] = dst
+        self.size[slot] = size
+        self.sent_at[slot] = sent_at
+        return slot
+
+    def _grow(self) -> None:
+        old = self.capacity
+        self.kind.extend([None] * old)
+        self.payload.extend([None] * old)
+        self.src.extend([None] * old)
+        self.dst.extend([None] * old)
+        self.size.extend([0] * old)
+        self.sent_at.extend([0.0] * old)
+        # New slots go on top of the (empty) free list, highest first, so the
+        # next allocations take the lowest new slot — the same order a fresh
+        # arena of the doubled size would produce.
+        self._free.extend(range(2 * old - 1, old - 1, -1))
+        self.capacity = 2 * old
+
+    def load(self, slot: int, message: Message) -> Message:
+        """Refill the flyweight ``message`` from ``slot`` and return it."""
+        message.kind = self.kind[slot]
+        message.payload = self.payload[slot]
+        message.src = self.src[slot]
+        message.dst = self.dst[slot]
+        message.size = self.size[slot]
+        message.sent_at = self.sent_at[slot]
+        return message
+
+    def release(self, slot: int) -> None:
+        # Drop the payload/string references so the arena never pins dead
+        # payload graphs; scalar fields are overwritten on reuse.
+        self.payload[slot] = None
+        self.kind[slot] = None
+        self.src[slot] = None
+        self.dst[slot] = None
+        self._free.append(slot)
+
+
 class Endpoint(Protocol):
     """Anything that can be attached to the network."""
 
@@ -166,7 +276,9 @@ class _DeliveryBatch:
     __slots__ = ("heap", "event", "target", "scheduled")
 
     def __init__(self) -> None:
-        self.heap: List[Tuple[float, int, Message]] = []
+        #: Entries are ``(time, seq, Message)`` in object mode or
+        #: ``(time, seq, slot)`` with an int arena slot under ``v2``.
+        self.heap: List[Tuple[float, int, object]] = []
         self.event: Optional[Event] = None
         self.target: Optional[Tuple[float, int]] = None
         self.scheduled = False
@@ -196,13 +308,28 @@ class Network:
         per message, the original reference behaviour. Both produce
         bit-identical runs.
     record_bandwidth_events:
-        When ``True`` (default) meters keep per-message timestamped events so
-        windows can be measured; disable for very large runs to save memory.
+        When ``True`` meters keep per-message timestamped events so arbitrary
+        windows can be measured; when ``False`` meters keep aggregates only
+        (totals plus the observed time span — window queries that cover every
+        event still answer exactly, see :meth:`BandwidthMeter.bytes_in_window`).
+        Defaults to ``None``, which resolves to ``True`` under the ``v1``
+        profile and ``False`` under ``v2``: the fast profile trades the
+        per-message log (two list appends on every delivery) for aggregate
+        meters, exactly like it trades per-message records for arena slots.
+        Pass an explicit ``True`` to keep full logs under v2.
     bandwidth_horizon:
         When set, each meter discards recorded events older than this many
         seconds behind its newest event; window queries that start inside the
         horizon are unaffected (see :class:`BandwidthMeter`). Bounds memory
         on long runs that only ever measure recent windows.
+    message_arena:
+        When ``True``, in-flight records on the batched path live in a
+        :class:`MessageArena` and handlers receive a refilled flyweight
+        ``Message`` (valid only during the handler call). Defaults to
+        ``None``, which resolves to "on" exactly when the simulator runs the
+        ``v2`` profile with delivery batching; forcing it ``True`` under v1
+        is allowed (the A/B tests do) and does not change event order or the
+        RNG stream — only object lifetimes.
     """
 
     def __init__(
@@ -213,8 +340,9 @@ class Network:
         loss_rate: float = 0.0,
         jitter_fraction: float = 0.1,
         delivery_batching: bool = True,
-        record_bandwidth_events: bool = True,
+        record_bandwidth_events: Optional[bool] = None,
         bandwidth_horizon: Optional[float] = None,
+        message_arena: Optional[bool] = None,
     ) -> None:
         if not 0.0 <= loss_rate <= 1.0:
             raise NetworkError(f"loss rate must be in [0, 1], got {loss_rate}")
@@ -226,6 +354,8 @@ class Network:
         self.topology = topology if topology is not None else Topology()
         self.loss_rate = loss_rate
         self.jitter_fraction = jitter_fraction
+        if record_bandwidth_events is None:
+            record_bandwidth_events = getattr(sim, "profile", "v1") != "v2"
         self.record_bandwidth_events = record_bandwidth_events
         self.bandwidth_horizon = bandwidth_horizon
         self.metrics = MetricsRegistry()
@@ -245,6 +375,20 @@ class Network:
         # degradation onto one link never shifts the base ``_rng`` sequence
         # (loss + jitter draws) seen by the rest of the run.
         self._degrade_rng = sim.derive_rng("network/degrade")
+        # ``_uniform`` is the single tap every loss and jitter draw goes
+        # through. v1 binds it straight to ``random.Random.random`` (the
+        # reference byte stream); v2 refills a block of numpy draws and pops
+        # them in send order, so draws stay deterministic per seed but come
+        # from a different (much cheaper per-draw) generator.
+        self._profile = getattr(sim, "profile", "v1")
+        if self._profile == "v2":
+            self._np_rng = sim.derive_np_rng("network")
+            self._uniform_block: List[float] = []
+            self._uniform = self._next_uniform
+        else:
+            self._np_rng = None
+            self._uniform_block = []
+            self._uniform = self._rng.random
         self._delivery_taps: list[Callable[[Message], None]] = []
         #: Wire-size table: message kind -> fixed size or callable(payload).
         self._wire_sizes: Dict[str, object] = {}
@@ -267,6 +411,19 @@ class Network:
         self._in_flight = _DeliveryBatch()
         self._queue = sim._queue
         self._alloc_seq = sim._queue._seq.__next__
+        # Instance copy so tests (and density experiments) can pin it.
+        self._direct_post_max = DIRECT_POST_MAX
+        # Direct-posted deliveries still in flight. The density check must
+        # see these too: the heap alone can never climb from empty to the
+        # threshold through a path that only fills once the threshold is
+        # already met.
+        self._direct_outstanding = 0
+        if message_arena is None:
+            message_arena = delivery_batching and self._profile == "v2"
+        self.message_arena = message_arena and delivery_batching
+        self._arena = MessageArena() if self.message_arena else None
+        # Flyweight refilled per arena delivery; fields are placeholders.
+        self._flyweight = Message("", None, "", "", 0, 0.0)
 
     # ------------------------------------------------------------ membership
     def register(self, endpoint: Endpoint) -> None:
@@ -391,6 +548,21 @@ class Network:
         """Register a callback invoked on every successful delivery."""
         self._delivery_taps.append(tap)
 
+    def _next_uniform(self) -> float:
+        """Pop the next uniform draw from the numpy block (v2 profile).
+
+        Draws are generated :data:`UNIFORM_BLOCK` at a time and consumed in
+        generation order (the block is reversed once so ``list.pop`` walks it
+        front-to-back), so the sequence of draws is a pure function of the
+        seed — batch size and refill timing never change which draw the Nth
+        send sees.
+        """
+        block = self._uniform_block
+        if not block:
+            block[:] = self._np_rng.random(UNIFORM_BLOCK).tolist()
+            block.reverse()
+        return block.pop()
+
     # ---------------------------------------------------------------- sending
     def send(
         self,
@@ -432,7 +604,6 @@ class Network:
         self._messages_sent.inc()
         self._bytes_sent.inc(wire_size)
 
-        message = Message(kind, payload, src, dst, wire_size, now)
         # The destination's region is resolved once and shared by the drop
         # checks, the latency model and the delivery-class key. A recently
         # dead endpoint routes toward where it actually lived.
@@ -441,10 +612,24 @@ class Network:
             dst_region = receiver.region
         else:
             dst_region = self._last_region.get(dst)
-        drop_reason = self._drop_reason(message, sender, dst_region)
-        if drop_reason is not None:
-            self._count_drop(drop_reason)
-            return
+        if not (
+            self._blocked
+            or self._blocked_directed
+            or self._blocked_regions
+            or self._degraded
+            or self.loss_rate > 0
+        ):
+            # Fault-free fast path (see send_fanout): only the
+            # unknown-destination drop can apply, and _drop_reason makes no
+            # RNG draws in this state, so skipping the call is byte-exact.
+            if dst_region is None:
+                self._count_drop("unknown_destination")
+                return
+        else:
+            drop_reason = self._drop_reason(src, dst, sender, dst_region)
+            if drop_reason is not None:
+                self._count_drop(drop_reason)
+                return
         src_region = sender.region
         base = self.topology.latency(src_region, dst_region)
         if self._degraded:
@@ -453,30 +638,152 @@ class Network:
                 base *= entry[0]
         jitter_fraction = self.jitter_fraction
         if jitter_fraction > 0.0:
-            latency = base * (1.0 + self._rng.random() * jitter_fraction)
+            latency = base * (1.0 + self._uniform() * jitter_fraction)
         else:
             latency = base
         if latency < 0.0:
             # Degenerate topologies (negative configured latency) must never
             # schedule a delivery in the simulated past.
             latency = 0.0
-        if not self.delivery_batching:
+        batch = self._in_flight
+        if not self.delivery_batching or (
+            len(batch.heap) + self._direct_outstanding < self._direct_post_max
+        ):
             # Reference path: fire-and-forget, one queue entry per message
             # (deliveries are never cancelled, so no TimerHandle either).
-            self.sim.post(latency, self._deliver, message)
+            # Also taken at low in-flight density even when batching is on —
+            # see DIRECT_POST_MAX; the key comes from the same counter either
+            # way, so the drain order is unchanged.
+            self._direct_outstanding += 1
+            self.sim.post(
+                latency, self._deliver,
+                Message(kind, payload, src, dst, wire_size, now),
+            )
             return
         # Batched path: allocate the delivery key now (send order == seq
         # order, exactly as sim.post would) and park the message in the
         # in-flight heap; only the batch sentinel lives in the main queue.
         delivery_time = now + latency
         seq = self._alloc_seq()
-        batch = self._in_flight
-        heappush(batch.heap, (delivery_time, seq, message))
+        arena = self._arena
+        if arena is not None:
+            record: object = arena.alloc(kind, payload, src, dst, wire_size, now)
+        else:
+            record = Message(kind, payload, src, dst, wire_size, now)
+        heappush(batch.heap, (delivery_time, seq, record))
         if not batch.scheduled or (delivery_time, seq) < batch.target:
             self._retarget_deliveries(batch)
 
+    def send_fanout(
+        self,
+        src: str,
+        dsts: Sequence[str],
+        kind: str,
+        payload: object,
+        *,
+        size: Optional[int] = None,
+    ) -> None:
+        """Send one payload to several destinations with a single prologue.
+
+        Byte-identical to calling :meth:`send` once per destination in
+        order: per-destination RNG draws (degradation, loss, jitter) happen
+        in destination order, the sender's meter log and the drop/sent
+        counters reach the same state, and delivery keys come from the same
+        shared counter. Only the per-message re-resolution of sender, size,
+        meter, counters, and hot attributes is hoisted out of the loop —
+        which matters because gossip fan-out is ~90% of all messages in the
+        full-protocol workload.
+        """
+        sender = self._endpoints.get(src)
+        if sender is None:
+            raise NetworkError(f"send from unregistered endpoint {src!r}")
+        if isinstance(payload, SizedPayload):
+            if size is None:
+                size = payload.size
+            payload = payload.payload
+        if size is None:
+            entry = self._wire_sizes.get(kind)
+            if entry is None:
+                size = approx_size(payload)
+            elif callable(entry):
+                size = entry(payload)
+            else:
+                size = entry
+        wire_size = size + MESSAGE_OVERHEAD_BYTES
+        now = self.sim.now
+        count = len(dsts)
+        self.meter(src).on_send_many(now, wire_size, count)
+        self._messages_sent.inc(count)
+        self._bytes_sent.inc(wire_size * count)
+        src_region = sender.region
+        endpoints = self._endpoints
+        last_region = self._last_region
+        latency_table = self.topology.latency_map()
+        degraded = self._degraded
+        jitter_fraction = self.jitter_fraction
+        uniform = self._uniform
+        delivery_batching = self.delivery_batching
+        direct_max = self._direct_post_max
+        batch = self._in_flight
+        heap = batch.heap
+        arena = self._arena
+        post = self.sim.post
+        deliver = self._deliver
+        # Fault-free fast path: with no blocks, partitions, degradations or
+        # loss configured, _drop_reason can only ever return
+        # "unknown_destination" — that one check is kept inline and the call
+        # (which makes no RNG draws in this state) is skipped entirely.
+        faultless = not (
+            self._blocked
+            or self._blocked_directed
+            or self._blocked_regions
+            or degraded
+            or self.loss_rate > 0
+        )
+        for dst in dsts:
+            receiver = endpoints.get(dst)
+            if receiver is not None:
+                dst_region = receiver.region
+            else:
+                dst_region = last_region.get(dst)
+            if faultless:
+                if dst_region is None:
+                    self._count_drop("unknown_destination")
+                    continue
+            else:
+                drop_reason = self._drop_reason(src, dst, sender, dst_region)
+                if drop_reason is not None:
+                    self._count_drop(drop_reason)
+                    continue
+            base = latency_table[(src_region, dst_region)]
+            if degraded:
+                entry = degraded.get(frozenset((src, dst)))
+                if entry is not None:
+                    base *= entry[0]
+            if jitter_fraction > 0.0:
+                latency = base * (1.0 + uniform() * jitter_fraction)
+            else:
+                latency = base
+            if latency < 0.0:
+                latency = 0.0
+            if not delivery_batching or (
+                len(heap) + self._direct_outstanding < direct_max
+            ):
+                self._direct_outstanding += 1
+                post(latency, deliver, Message(kind, payload, src, dst, wire_size, now))
+                continue
+            delivery_time = now + latency
+            seq = self._alloc_seq()
+            if arena is not None:
+                record: object = arena.alloc(kind, payload, src, dst, wire_size, now)
+            else:
+                record = Message(kind, payload, src, dst, wire_size, now)
+            heappush(heap, (delivery_time, seq, record))
+            if not batch.scheduled or (delivery_time, seq) < batch.target:
+                self._retarget_deliveries(batch)
+
     def _drop_reason(
-        self, message: Message, sender: Endpoint, dst_region: Optional[str]
+        self, src: str, dst: str, sender: Endpoint, dst_region: Optional[str]
     ) -> Optional[str]:
         """Send-time drop decision; RNG draws happen here and only here.
 
@@ -487,9 +794,9 @@ class Network:
         recently dead endpoint across a partition counts as ``partitioned``
         rather than surviving until the ``dead_endpoint`` check.
         """
-        if self._blocked and frozenset((message.src, message.dst)) in self._blocked:
+        if self._blocked and frozenset((src, dst)) in self._blocked:
             return "blocked"
-        if self._blocked_directed and (message.src, message.dst) in self._blocked_directed:
+        if self._blocked_directed and (src, dst) in self._blocked_directed:
             return "blocked_directed"
         if dst_region is None:
             # Never-registered destination: there is no region to route
@@ -501,14 +808,14 @@ class Network:
         ):
             return "partitioned"
         if self._degraded:
-            entry = self._degraded.get(frozenset((message.src, message.dst)))
+            entry = self._degraded.get(frozenset((src, dst)))
             if (
                 entry is not None
                 and entry[1] > 0.0
                 and self._degrade_rng.random() < entry[1]
             ):
                 return "degraded"
-        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+        if self.loss_rate > 0 and self._uniform() < self.loss_rate:
             return "loss"
         return None
 
@@ -577,7 +884,10 @@ class Network:
         queue = self._queue
         endpoints_get = self._endpoints.get
         meter = self.meter
+        meters_get = self._meters.get
         taps = self._delivery_taps
+        arena = self._arena
+        flyweight = self._flyweight
         # Mark the batch as draining so a handler sending into it mid-flush
         # never schedules a second sentinel (_DRAINING beats every real key).
         batch.scheduled = True
@@ -587,7 +897,13 @@ class Network:
         delivered = 0
         first = True
         while True:
-            time, _seq, message = heappop(heap)
+            time, _seq, record = heappop(heap)
+            if arena is not None:
+                # ``record`` is an int slot: refill the flyweight. Handlers
+                # and taps see a normal Message for the duration of the call.
+                message = arena.load(record, flyweight)
+            else:
+                message = record
             if first:
                 first = False
             else:
@@ -604,12 +920,20 @@ class Network:
             ):
                 self._count_drop(reason)
             else:
-                meter(message.dst).on_receive(time, message.size)
+                m = meters_get(message.dst)
+                if m is None:
+                    m = meter(message.dst)
+                m.on_receive(time, message.size)
                 delivered += 1
                 if taps:
                     for tap in taps:
                         tap(message)
                 receiver.handle_message(message)
+            if arena is not None:
+                # Release after the handler ran: any sends the handler made
+                # have already taken their slots, so the LIFO free order is
+                # still a pure function of event order.
+                arena.release(record)
             if not heap:
                 break
             head = heap[0]
@@ -667,6 +991,7 @@ class Network:
     def _deliver(self, message: Message) -> None:
         """Deliver one message now (reference path; the batched flush in
         :meth:`_fire_deliveries` inlines this body — keep them in lockstep)."""
+        self._direct_outstanding -= 1
         receiver = self._endpoints.get(message.dst)
         if receiver is None:
             # Endpoint died while the message was in flight.

@@ -7,7 +7,7 @@ addressable endpoint with a message dispatch table and lifecycle hooks.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.loop import RepeatingTimer, Simulator
@@ -136,6 +136,19 @@ class Process:
             self.paused_drops += 1
             return
         self.network.send(self.address, dst, kind, payload, size=size)
+
+    def send_fanout(
+        self, dsts: Sequence[str], kind: str, payload: object, *, size: Optional[int] = None
+    ) -> None:
+        """One payload to several destinations; equivalent to ``send`` per
+        destination in order (one paused drop per destination, same network
+        accounting) with the per-message prologue hoisted."""
+        if not self.running:
+            return
+        if self.paused:
+            self.paused_drops += len(dsts)
+            return
+        self.network.send_fanout(self.address, dsts, kind, payload, size=size)
 
     # ----------------------------------------------------------------- timers
     def every(

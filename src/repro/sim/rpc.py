@@ -169,6 +169,11 @@ class RpcMixin:
         payload = message.payload
         method = payload["method"]
         call_id = payload["id"]
+        # Capture the reply address NOW: under the v2 profile the delivered
+        # ``message`` is the arena's recycled flyweight, whose fields are
+        # overwritten by the next delivery — a deferred ``respond`` must not
+        # read them after the handler returns.
+        reply_to = message.src
         cache = self._rpc_reply_cache
         if cache is not None:
             if call_id in cache:
@@ -177,7 +182,7 @@ class RpcMixin:
                     # Duplicate of an answered request: replay the response
                     # without re-executing the handler.
                     self.send(
-                        message.src,
+                        reply_to,
                         RESPONSE_KIND,
                         {"id": call_id, "method": method, "result": cached},
                     )
@@ -191,7 +196,7 @@ class RpcMixin:
             if cache is not None and call_id in cache:
                 cache[call_id] = result
             self.send(
-                message.src,
+                reply_to,
                 RESPONSE_KIND,
                 {"id": call_id, "method": method, "result": result},
             )

@@ -120,6 +120,15 @@ class Topology:
         except KeyError:
             raise KeyError(f"unknown region pair ({region_a!r}, {region_b!r})") from None
 
+    def latency_map(self) -> Dict[Tuple[str, str], float]:
+        """The full ``(region_a, region_b) -> latency`` table.
+
+        Exposed for per-message hot paths (the network's fan-out loop) that
+        want one dict probe instead of a method call per destination. The
+        table is fixed at construction; callers must treat it as read-only.
+        """
+        return self._latency
+
     def max_distance_km(self, region_names: Iterable[str]) -> float:
         """Largest pairwise distance among the given regions.
 

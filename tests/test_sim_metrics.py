@@ -239,8 +239,22 @@ class TestBandwidthMeter:
     def test_no_event_recording(self):
         m = BandwidthMeter("m", record_events=False)
         m.on_send(0.0, 100)
+        m.on_receive(2.0, 50)
         assert m.bytes_sent == 100
-        assert m.bytes_in_window(0, 10) == 0  # events not kept
+        # Aggregate mode: a window covering every observed event answers
+        # exactly from the totals ...
+        assert m.bytes_in_window(0, 10) == 150
+        assert m.bytes_in_window(0.0, 2.0) == 150
+        # ... and a partial window raises instead of undercounting (the
+        # per-event breakdown was never recorded).
+        with pytest.raises(WindowTruncatedError):
+            m.bytes_in_window(1.0, 10.0)
+        with pytest.raises(WindowTruncatedError):
+            m.bytes_in_window(0.0, 1.5)
+
+    def test_no_event_recording_empty_meter(self):
+        m = BandwidthMeter("m", record_events=False)
+        assert m.bytes_in_window(0, 10) == 0
 
     def test_interleaved_record_and_window_query(self):
         m = BandwidthMeter("m")

@@ -213,6 +213,9 @@ class TestBatchedEquivalence:
         """Once every in-flight message has delivered, the batch heap is
         empty and no sentinel lingers in the event queue."""
         network = Network(sim, Topology(), jitter_fraction=0.0)
+        # Pin the direct-post threshold to 0 so even a lone send takes the
+        # shared-heap path and actually schedules a sentinel.
+        network._direct_post_max = 0
         region = network.topology.regions[0].name
         a = Chatter(sim, network, "a", region, "b", 1000.0)
         b = Chatter(sim, network, "b", region, "a", 1000.0)
