@@ -12,7 +12,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check lint test scheduler-equivalence bench-gate bench-kernel \
-        bench-kernel-smoke bench chaos-smoke
+        bench-kernel-smoke bench chaos-smoke bench-shards bench-shards-smoke
 
 check: lint test scheduler-equivalence bench-gate chaos-smoke
 
@@ -20,7 +20,7 @@ check: lint test scheduler-equivalence bench-gate chaos-smoke
 # dependency, and the offline test image does not ship it. CI installs it.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check .; \
+		ruff check . && ruff format --check .; \
 	else \
 		echo "lint: ruff not installed, skipping (pip install ruff)"; \
 	fi
@@ -36,10 +36,17 @@ test:
 bench-kernel-smoke:
 	$(PYTHON) benchmarks/bench_kernel.py --quick
 
+bench-shards-smoke:
+	$(PYTHON) benchmarks/bench_shards.py --quick
+
 # Regenerate the quick-mode results and diff them against the committed
-# full-mode baseline; see benchmarks/gate.py for what is compared.
-bench-gate: bench-kernel-smoke
-	$(PYTHON) benchmarks/gate.py
+# full-mode baselines; see benchmarks/gate.py for what is compared. The
+# GATE_SUMMARY hook lets CI append the verdict to $GITHUB_STEP_SUMMARY.
+bench-gate: bench-kernel-smoke bench-shards-smoke
+	$(PYTHON) benchmarks/gate.py \
+		--shards-baseline BENCH_shards.json \
+		--shards-candidate BENCH_shards.quick.json \
+		$(if $(GATE_SUMMARY),--summary $(GATE_SUMMARY))
 
 # Fault-injection determinism gate: the seeded failure scenario's resilience
 # report must be byte-stable and match the committed BENCH_chaos.json, and an
@@ -49,6 +56,10 @@ chaos-smoke:
 
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel.py
+
+# Full-mode shard scale-out sweep (~15 min); regenerates BENCH_shards.json.
+bench-shards:
+	$(PYTHON) benchmarks/bench_shards.py
 
 # Full paper-figure regeneration (~10 minutes); see benchmarks/README.md.
 bench:

@@ -1,43 +1,51 @@
-"""Benchmark regression gate: compare a fresh quick-mode kernel benchmark
-run against the committed full-mode baseline.
+"""Benchmark regression gate: compare fresh quick-mode benchmark runs
+against the committed full-mode baselines.
 
 Usage (CI runs this via ``make bench-gate``, which regenerates the quick
-file first)::
+files first)::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py --quick
-    python benchmarks/gate.py
+    PYTHONPATH=src python benchmarks/bench_shards.py --quick
+    python benchmarks/gate.py \
+        --shards-baseline BENCH_shards.json \
+        --shards-candidate BENCH_shards.quick.json
 
-The two files measure different population sizes (quick mode shrinks every
-workload so it finishes in seconds), so raw ops/sec are **not** comparable
-across them and are never compared here. What the gate checks is the set of
-invariants that hold on any machine at any size:
+The paired files measure different population sizes (quick mode shrinks
+every workload so it finishes in seconds), so raw ops/sec are **not**
+comparable across them and are never compared here. What the gate checks is
+the set of invariants that hold on any machine at any size:
 
-* the seeded determinism checksums — one sha256 per determinism profile
-  (bit-exact ``v1`` and the fast ``v2``) over a fixed 6-node SWIM run's
-  event count, metrics counters, and bandwidth meters — must be byte-equal
-  between the quick run and the committed baseline, and stable within each;
-* every benchmark recorded in the baseline must still exist (a bench that
-  silently vanishes from the harness is a regression too);
-* the relative speedups (optimized vs in-tree naive reference, same machine,
-  same run) must not collapse: each quick-mode speedup must stay above a
-  generous fraction of the committed full-mode speedup. The band is wide
-  because CI machines are noisy and quick mode's smaller inputs flatter the
-  naive arms — the gate exists to catch an optimization being disabled
-  (a 700x speedup falling to 1x), not a 20% wobble;
-* the committed baseline itself must still honor the PR acceptance bars it
-  was committed with (event_loop >= 2x the PR 1 constant, swim_full at 6400
-  nodes >= 2x the PR 3 constant and >= 1.5x the PR 5 pre-batching constant,
-  and swim_full under the v2 profile both above the absolute backstop floor
-  and faster than the v1 point measured in the same sweep by the committed
-  ratio — the relative check is the primary one because fresh-process
-  absolute throughput at 6400 nodes swings ~±20% with address-space layout,
-  while both profile arms of one sweep share the same box conditions).
+* the seeded determinism checksums — sha256 digests of fixed-size seeded
+  runs — must be byte-equal between the quick run and the committed
+  baseline, and stable within each;
+* the benchmark *sets* must match: every benchmark recorded in the baseline
+  must still exist in the candidate (a bench that silently vanishes from
+  the harness is a regression too), and a candidate bench with no committed
+  baseline is an error as well (the baseline must be regenerated so the new
+  bench is actually gated);
+* for the kernel pair, the relative speedups (optimized vs in-tree naive
+  reference, same machine, same run) must not collapse: each quick-mode
+  speedup must stay above a generous fraction of the committed full-mode
+  speedup. The band is wide because CI machines are noisy and quick mode's
+  smaller inputs flatter the naive arms — the gate exists to catch an
+  optimization being disabled (a 700x speedup falling to 1x), not a 20%
+  wobble;
+* the committed baselines themselves must still honor the acceptance bars
+  they were committed with (kernel: event_loop >= 2x the PR 1 constant,
+  swim_full at 6400 nodes >= 2x the PR 3 constant and >= 1.5x the PR 5
+  pre-batching constant, the v2 profile above its absolute floor and
+  committed ratio; shards: the full-mode 8-shard scale-out >= 3x a single
+  shard), so a stale or hand-edited baseline cannot hide a regression.
 
 One deliberate non-check: ``net_delivery``'s speedup is node-count-dependent
 (the shared in-flight heap only pays off once the in-flight population is
 dense; at quick mode's 400 nodes it hovers around 1x — see the direct-post
 hybrid in ``sim/network.py``), and since its committed full-mode speedup
 sits below the noise ceiling the fractional band never applies to it.
+
+``--summary PATH`` appends a markdown verdict table (checksums, speedup
+band, shard scale-out) to ``PATH`` — CI points it at
+``$GITHUB_STEP_SUMMARY``.
 """
 
 from __future__ import annotations
@@ -45,7 +53,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 #: Quick-mode speedup must be at least this fraction of the committed
 #: full-mode speedup. Deliberately loose — see module docstring.
@@ -56,46 +64,105 @@ SPEEDUP_FLOOR_FRACTION = 0.10
 #: band is not applied below it.
 SPEEDUP_NOISE_CEILING = 2.0
 
+#: The committed full-mode shard sweep must show at least this much
+#: aggregate query throughput at 8 shards relative to 1 shard.
+SHARDS_SCALEOUT_FLOOR = 3.0
+
+#: Floor applied to a quick-mode shard sweep candidate (400 agents; the
+#: measured value sits near 5x, the floor only catches sharding being
+#: disabled or a hot-key collapse).
+SHARDS_QUICK_SCALEOUT_FLOOR = 1.8
+
 
 def load(path: str) -> Dict[str, object]:
+    """Read one benchmark report JSON file."""
     with open(path) as fh:
         return json.load(fh)
 
 
-def check(baseline: Dict[str, object], candidate: Dict[str, object]) -> List[str]:
+def structural_failures(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    *,
+    label: str,
+    checksum_keys: Tuple[Tuple[str, str, str], ...],
+    candidate_may_be_full: bool = False,
+) -> List[str]:
+    """Shape checks shared by every baseline/candidate report pair.
+
+    ``checksum_keys`` lists ``(checksum_key, stable_key, profile_name)``
+    triples to compare inside each report's ``determinism`` block. Both
+    missing-bench directions are errors: a baseline bench absent from the
+    candidate means the harness silently dropped it, and a candidate bench
+    absent from the baseline means the committed baseline predates the
+    bench and must be regenerated before the gate can cover it.
+    """
     failures: List[str] = []
 
     if baseline.get("quick"):
-        failures.append("baseline file was produced by a --quick run; "
-                        "the committed BENCH_kernel.json must be full-mode")
-    if not candidate.get("quick"):
-        failures.append("candidate file is not a --quick run; "
-                        "regenerate it with bench_kernel.py --quick")
+        failures.append(f"{label}: baseline file was produced by a --quick "
+                        "run; the committed baseline must be full-mode")
+    if not candidate.get("quick") and not candidate_may_be_full:
+        failures.append(f"{label}: candidate file is not a --quick run; "
+                        "regenerate it with --quick")
 
-    base_det = baseline.get("determinism", {})
-    cand_det = candidate.get("determinism", {})
-    for label, det in (("baseline", base_det), ("candidate", cand_det)):
-        if not det.get("stable"):
-            failures.append(f"{label} seeded run was not deterministic")
-        if not det.get("stable_v2"):
-            failures.append(f"{label} seeded v2-profile run was not "
-                            "deterministic")
-    for key, profile in (("checksum", "v1"), ("checksum_v2", "v2")):
-        if base_det.get(key) != cand_det.get(key):
+    base_det = baseline.get("determinism") or {}
+    cand_det = candidate.get("determinism") or {}
+    for checksum_key, stable_key, profile in checksum_keys:
+        for side, det in (("baseline", base_det), ("candidate", cand_det)):
+            if not det.get(stable_key):
+                failures.append(f"{label}: {side} seeded {profile} run was "
+                                "not deterministic")
+        if base_det.get(checksum_key) != cand_det.get(checksum_key):
             failures.append(
-                f"{profile} determinism checksum drifted: baseline "
-                f"{str(base_det.get(key))[:16]}… vs candidate "
-                f"{str(cand_det.get(key))[:16]}… — the seeded 6-node SWIM "
-                f"run no longer produces the committed {profile} event/byte "
-                "totals"
+                f"{label}: {profile} determinism checksum drifted: baseline "
+                f"{str(base_det.get(checksum_key))[:16]}… vs candidate "
+                f"{str(cand_det.get(checksum_key))[:16]}… — the seeded run "
+                "no longer produces the committed totals"
             )
 
-    base_results = baseline.get("results", {})
-    cand_results = candidate.get("results", {})
+    base_results = baseline.get("results") or {}
+    cand_results = candidate.get("results") or {}
     for name in base_results:
         if name not in cand_results:
-            failures.append(f"benchmark '{name}' present in baseline but "
-                            "missing from the candidate run")
+            failures.append(f"{label}: benchmark '{name}' present in the "
+                            "baseline but missing from the candidate run — "
+                            "the harness no longer measures it")
+    for name in cand_results:
+        if name not in base_results:
+            failures.append(
+                f"{label}: benchmark '{name}' present in the candidate but "
+                "missing from the committed baseline — regenerate the "
+                "full-mode baseline so the new bench is gated"
+            )
+
+    return failures
+
+
+def check(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    *,
+    allow_full_candidate: bool = False,
+) -> List[str]:
+    """Gate the kernel benchmark pair (BENCH_kernel.json vs .quick.json).
+
+    ``allow_full_candidate`` admits a full-mode candidate (the nightly sweep
+    compares full against full); the default insists on --quick so a stray
+    full-mode file is not mistaken for the CI smoke run.
+    """
+    failures = structural_failures(
+        baseline, candidate,
+        label="kernel",
+        checksum_keys=(
+            ("checksum", "stable", "v1"),
+            ("checksum_v2", "stable_v2", "v2"),
+        ),
+        candidate_may_be_full=allow_full_candidate,
+    )
+
+    base_results = baseline.get("results") or {}
+    cand_results = candidate.get("results") or {}
 
     for name, base in base_results.items():
         cand = cand_results.get(name)
@@ -168,37 +235,175 @@ def check(baseline: Dict[str, object], candidate: Dict[str, object]) -> List[str
     return failures
 
 
+def check_shards(
+    baseline: Dict[str, object], candidate: Dict[str, object]
+) -> List[str]:
+    """Gate the shard sweep pair (BENCH_shards.json vs a fresh run).
+
+    The candidate may be quick-mode (CI smoke, loose scale-out floor) or
+    full-mode (the nightly sweep, held to the committed 3x floor).
+    """
+    failures = structural_failures(
+        baseline, candidate,
+        label="shards",
+        checksum_keys=(("checksum", "stable", "sharded-plane"),),
+        candidate_may_be_full=True,
+    )
+
+    def scaleout(report: Dict[str, object]) -> Optional[float]:
+        sweep = (report.get("results") or {}).get("scale_sweep") or {}
+        return sweep.get("scaleout_8v1")
+
+    base_ratio = scaleout(baseline)
+    if base_ratio is None:
+        failures.append("shards: baseline has no scale_sweep.scaleout_8v1")
+    elif base_ratio < SHARDS_SCALEOUT_FLOOR:
+        failures.append(
+            f"shards: committed full-mode 8-shard scale-out is only "
+            f"{base_ratio:.2f}x; the acceptance floor is "
+            f"{SHARDS_SCALEOUT_FLOOR:.1f}x"
+        )
+
+    cand_ratio = scaleout(candidate)
+    cand_floor = (SHARDS_QUICK_SCALEOUT_FLOOR if candidate.get("quick")
+                  else SHARDS_SCALEOUT_FLOOR)
+    if cand_ratio is None:
+        failures.append("shards: candidate has no scale_sweep.scaleout_8v1")
+    elif cand_ratio < cand_floor:
+        failures.append(
+            f"shards: candidate 8-shard scale-out is only {cand_ratio:.2f}x; "
+            f"the floor for this run size is {cand_floor:.1f}x"
+        )
+
+    hot = (candidate.get("results") or {}).get("hot_replica")
+    if hot is not None and not hot.get("staleness_bound_respected", True):
+        failures.append("shards: a candidate replica/cache answer exceeded "
+                        "its staleness bound")
+
+    return failures
+
+
+def _checksum_of(report: Optional[Dict[str, object]], key: str = "checksum") -> str:
+    """First 16 hex chars of a report's determinism checksum (or ``-``)."""
+    if not report:
+        return "-"
+    value = (report.get("determinism") or {}).get(key)
+    return f"{str(value)[:16]}…" if value else "-"
+
+
+def write_summary(
+    path: str,
+    failures: List[str],
+    *,
+    kernel: Optional[Tuple[Dict[str, object], Dict[str, object]]],
+    shards: Optional[Tuple[Dict[str, object], Dict[str, object]]],
+) -> None:
+    """Append the gate verdict as markdown to ``path`` (a step summary)."""
+    lines = ["## Bench gate", ""]
+    lines.append("**Verdict:** " + ("❌ FAIL" if failures else "✅ PASS"))
+    lines.append("")
+    lines.append("| check | baseline | candidate |")
+    lines.append("|---|---|---|")
+    if kernel is not None:
+        base, cand = kernel
+        lines.append(f"| kernel v1 checksum | {_checksum_of(base)} "
+                     f"| {_checksum_of(cand)} |")
+        lines.append(f"| kernel v2 checksum | {_checksum_of(base, 'checksum_v2')} "
+                     f"| {_checksum_of(cand, 'checksum_v2')} |")
+    if shards is not None:
+        base, cand = shards
+        lines.append(f"| shards checksum | {_checksum_of(base)} "
+                     f"| {_checksum_of(cand)} |")
+
+        def ratio(report: Dict[str, object]) -> str:
+            sweep = (report.get("results") or {}).get("scale_sweep") or {}
+            value = sweep.get("scaleout_8v1")
+            return f"{value:.2f}x" if value is not None else "-"
+
+        lines.append(f"| 8-shard scale-out (floor "
+                     f"{SHARDS_SCALEOUT_FLOOR:.1f}x full / "
+                     f"{SHARDS_QUICK_SCALEOUT_FLOOR:.1f}x quick) "
+                     f"| {ratio(base)} | {ratio(cand)} |")
+    lines.append("")
+    if failures:
+        lines.append("### Failures")
+        lines.extend(f"- {failure}" for failure in failures)
+        lines.append("")
+    with open(path, "a") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
 def main(argv=None) -> int:
+    """CLI entry point; returns a non-zero exit code on any gate failure."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default="BENCH_kernel.json",
-                        help="committed full-mode results (default: "
+                        help="committed full-mode kernel results (default: "
                              "BENCH_kernel.json)")
     parser.add_argument("--candidate", default="BENCH_kernel.quick.json",
-                        help="fresh quick-mode results (default: "
+                        help="fresh quick-mode kernel results (default: "
                              "BENCH_kernel.quick.json)")
+    parser.add_argument("--shards-baseline", default=None,
+                        help="committed full-mode shard sweep results "
+                             "(omit to skip the shards gate)")
+    parser.add_argument("--shards-candidate", default=None,
+                        help="fresh shard sweep results (quick or full)")
+    parser.add_argument("--allow-full-candidate", action="store_true",
+                        help="accept full-mode candidate files (the nightly "
+                             "sweep gates full against full)")
+    parser.add_argument("--summary", default=None,
+                        help="append a markdown verdict to this file "
+                             "(point at $GITHUB_STEP_SUMMARY in CI)")
     args = parser.parse_args(argv)
 
-    try:
-        baseline = load(args.baseline)
-    except OSError as exc:
-        print(f"gate: cannot read baseline {args.baseline}: {exc}",
-              file=sys.stderr)
-        return 1
-    try:
-        candidate = load(args.candidate)
-    except OSError as exc:
-        print(f"gate: cannot read candidate {args.candidate}: {exc} "
-              "(run: PYTHONPATH=src python benchmarks/bench_kernel.py --quick)",
-              file=sys.stderr)
-        return 1
+    def load_or_fail(path: str, hint: str) -> Optional[Dict[str, object]]:
+        try:
+            return load(path)
+        except OSError as exc:
+            print(f"gate: cannot read {path}: {exc} {hint}", file=sys.stderr)
+            return None
 
-    failures = check(baseline, candidate)
+    failures: List[str] = []
+    kernel_pair = None
+    baseline = load_or_fail(args.baseline, "")
+    candidate = load_or_fail(
+        args.candidate,
+        "(run: PYTHONPATH=src python benchmarks/bench_kernel.py --quick)",
+    )
+    if baseline is None or candidate is None:
+        return 1
+    kernel_pair = (baseline, candidate)
+    failures.extend(check(baseline, candidate,
+                          allow_full_candidate=args.allow_full_candidate))
+
+    shards_pair = None
+    if args.shards_baseline or args.shards_candidate:
+        if not (args.shards_baseline and args.shards_candidate):
+            print("gate: --shards-baseline and --shards-candidate must be "
+                  "given together", file=sys.stderr)
+            return 1
+        shards_base = load_or_fail(args.shards_baseline, "")
+        shards_cand = load_or_fail(
+            args.shards_candidate,
+            "(run: PYTHONPATH=src python benchmarks/bench_shards.py --quick)",
+        )
+        if shards_base is None or shards_cand is None:
+            return 1
+        shards_pair = (shards_base, shards_cand)
+        failures.extend(check_shards(shards_base, shards_cand))
+
+    if args.summary:
+        write_summary(args.summary, failures,
+                      kernel=kernel_pair, shards=shards_pair)
+
     if failures:
         for failure in failures:
             print(f"gate FAIL: {failure}", file=sys.stderr)
         return 1
-    print(f"gate OK: {args.candidate} is consistent with {args.baseline} "
-          f"(checksum {str(candidate['determinism']['checksum'])[:16]}…)")
+    checked = [f"{args.candidate} vs {args.baseline}"]
+    if shards_pair is not None:
+        checked.append(f"{args.shards_candidate} vs {args.shards_baseline}")
+    print(f"gate OK: {'; '.join(checked)} "
+          f"(kernel checksum {_checksum_of(candidate)})")
     return 0
 
 

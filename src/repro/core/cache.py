@@ -38,6 +38,12 @@ class QueryCache:
 
     def lookup(self, query: Query, now: float) -> Optional[List[dict]]:
         """A cached response satisfying the query's freshness, or ``None``."""
+        entry = self.lookup_entry(query, now)
+        return entry.matches if entry is not None else None
+
+    def lookup_entry(self, query: Query, now: float) -> Optional[CacheEntry]:
+        """Like :meth:`lookup` but returns the whole entry, so callers can
+        surface the answer's age as an explicit staleness bound."""
         if query.freshness_ms <= 0:
             self.misses += 1
             return None
@@ -51,11 +57,17 @@ class QueryCache:
             return None
         self._entries.move_to_end(query.cache_key())
         self.hits += 1
-        return entry.matches
+        return entry
 
-    def store(self, query: Query, matches: List[dict], now: float) -> None:
+    def store(
+        self, query: Query, matches: List[dict], now: float,
+        *, staleness_ms: float = 0.0,
+    ) -> None:
+        """Cache ``matches``; ``staleness_ms`` is how stale the result already
+        was when it arrived (a replicated or re-cached answer), so the entry's
+        effective fetch time is backdated and freshness bounds stay honest."""
         key = query.cache_key()
-        self._entries[key] = CacheEntry(matches, now)
+        self._entries[key] = CacheEntry(matches, now - staleness_ms / 1000.0)
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)

@@ -74,6 +74,25 @@ class FocusConfig:
     collection_interval: float = 1.0
     #: How often the DGM syncs its primary tables to the store.
     store_sync_interval: float = 10.0
+    #: Number of serving-plane shards. 1 (the default) keeps the legacy
+    #: single ``FocusService`` — byte-identical to the pre-sharding code
+    #: path. Above 1, :func:`~repro.core.shardplane.build_shard_plane`
+    #: partitions the attribute/group tables over a consistent-hash ring of
+    #: group-family keys and fronts them with a scatter-gather
+    #: :class:`~repro.core.shardplane.ShardRouter`.
+    shards: int = 1
+    #: Virtual nodes per shard on the family hash ring (balance smoothness).
+    shard_virtual_nodes: int = 64
+    #: Deploy one read replica per region, answering bounded-staleness
+    #: queries from a region-local cache + materialized views (CQRS reads).
+    replica_reads: bool = False
+    #: How often the router re-materializes view results to region replicas.
+    replica_refresh_interval: float = 5.0
+    #: Model each server's query processing as a serial queue (service time
+    #: = ``server_processing_delay``) instead of infinite concurrency. Off by
+    #: default so existing seeded runs keep their exact byte streams; the
+    #: shard scale-out bench turns it on to expose the saturation knee.
+    server_queue_enabled: bool = False
 
     def cutoff_for(self, attribute: str) -> float:
         spec = self.schema.get(attribute)

@@ -52,10 +52,16 @@ class DynamicGroupsManager:
 
     # ------------------------------------------------------------ suggestions
     def suggest_for_registration(self, record: NodeRecord) -> List[Dict[str, object]]:
-        """Group suggestions for every dynamic attribute of a new node."""
+        """Group suggestions for every dynamic attribute of a new node.
+
+        On a sharded plane, registrations are replicated to every shard and
+        each shard only suggests for the group families it owns — the
+        router merges the per-shard suggestion lists back into one reply.
+        """
         return [
             self.suggest(record.node_id, record.region, attribute, value)
             for attribute, value in sorted(record.last_dynamic.items())
+            if self.service.owns_family(attribute, value)
         ]
 
     def suggest(

@@ -118,7 +118,7 @@ class Registrar:
         multi-attribute static query only touches one table (§VIII-A1).
         """
         store = self.service.store_client
-        if store is None:
+        if store is None or not self.service.persist_statics:
             return
         for name, value in record.static.items():
             store.put(

@@ -28,6 +28,9 @@ class QueryResponse:
     elapsed: float
     timed_out: bool = False
     groups_queried: int = 0
+    #: Upper bound on the answer's age (0 for a live directed pull; cached
+    #: and replica answers report how stale their snapshot may be).
+    staleness_ms: float = 0.0
     error: Optional[str] = None
 
     @property
@@ -64,6 +67,7 @@ class FocusClient:
                     elapsed=self.host.sim.now - started,
                     timed_out=bool(result.get("timed_out", False)),
                     groups_queried=int(result.get("groups_queried", 0)),
+                    staleness_ms=float(result.get("staleness_ms", 0.0)),
                     error=result.get("error"),
                 )
             )

@@ -71,12 +71,13 @@ class QueryRouter:
         service.resources.charge_query()
 
         if service.config.cache_enabled:
-            cached = service.cache.lookup(query, service.sim.now)
-            if cached is not None:
-                matches = cached
+            entry = service.cache.lookup_entry(query, service.sim.now)
+            if entry is not None:
+                matches = entry.matches
                 if query.limit is not None:
                     matches = matches[: query.limit]
-                self._finish_with(respond, matches, "cache")
+                age_ms = (service.sim.now - entry.fetched_at) * 1000.0
+                self._finish_with(respond, matches, "cache", staleness_ms=age_ms)
                 return DEFERRED
 
         view = service.views.match_query(query)
@@ -88,6 +89,15 @@ class QueryRouter:
         if not dynamic_terms:
             self._static_query(query, static_terms, respond)
             return DEFERRED
+
+        # A shard-plane sub-query pins the attribute the front router chose,
+        # so every shard of the scatter set pulls the same term's groups and
+        # the merged answer has exactly one over-approximated range.
+        routed = params.get("routed_attribute")
+        if routed is not None:
+            pinned = [t for t in dynamic_terms if t.name == routed]
+            if pinned:
+                dynamic_terms = pinned
 
         attribute, plan = self._plan_groups(query, dynamic_terms)
         if (
@@ -404,12 +414,14 @@ class QueryRouter:
         timed_out: bool = False,
         groups_queried: int = 0,
         error: Optional[str] = None,
+        staleness_ms: float = 0.0,
     ) -> None:
         payload: Dict[str, object] = {
             "matches": matches,
             "source": source,
             "timed_out": timed_out,
             "groups_queried": groups_queried,
+            "staleness_ms": staleness_ms,
         }
         if error is not None:
             payload["error"] = error
@@ -417,8 +429,16 @@ class QueryRouter:
 
     def _respond_after_processing(self, respond, payload) -> None:
         """Model server-side processing time (the ~45 ms cache path of
-        Fig. 8c is dominated by it)."""
+        Fig. 8c is dominated by it).
+
+        With ``server_queue_enabled`` the server is a serial queue: each
+        response occupies the CPU for the processing delay, so responses
+        queue behind each other and an overloaded server's latency grows
+        without bound — the saturation knee the shard sweep measures.
+        """
         delay = self.service.config.server_processing_delay
+        if self.service.config.server_queue_enabled:
+            delay = self.service.enqueue_processing(delay)
         if delay > 0:
             self.service.sim.schedule(delay, respond, payload)
         else:

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro.core.naming import group_base, group_name
+
 from repro.core.cache import QueryCache
 from repro.core.config import FocusConfig
 from repro.core.dgm import DynamicGroupsManager
@@ -115,6 +117,8 @@ class FocusService(Process, RpcMixin):
         config: Optional[FocusConfig] = None,
         store_cluster: Optional[StoreCluster] = None,
         resource_config: Optional[ResourceModelConfig] = None,
+        family_owner: Optional[Callable[[str], str]] = None,
+        persist_statics: bool = True,
     ) -> None:
         Process.__init__(self, sim, network, address, region)
         self.init_rpc()
@@ -124,6 +128,18 @@ class FocusService(Process, RpcMixin):
         self.config = config or FocusConfig()
         self.metrics = MetricsRegistry()
         self.rng = sim.derive_rng(f"focus/{address}")
+        #: Shard-plane partitioning: maps a group-family key to the shard
+        #: address owning it. ``None`` (the legacy single server) owns every
+        #: family; a shard only suggests/tracks groups whose family it owns.
+        self.family_owner = family_owner
+        #: Whether this server writes the static-attribute store tables.
+        #: Registrations are replicated to every shard, so exactly one shard
+        #: persists them (the rest would duplicate every row N ways).
+        self.persist_statics = persist_statics
+        #: Serial-queue tail for the modelled query processor (see
+        #: :meth:`enqueue_processing`); only advances under
+        #: ``config.server_queue_enabled``.
+        self._busy_until = 0.0
         self.cache = QueryCache(self.config.cache_max_entries)
         self.store_client: Optional[StoreClient] = (
             store_cluster.client_for(self) if store_cluster is not None else None
@@ -137,6 +153,7 @@ class FocusService(Process, RpcMixin):
         self.serve("focus.register", self._rpc_register)
         self.serve("focus.deregister", self._rpc_deregister)
         self.serve("focus.suggest", self._rpc_suggest)
+        self.serve("focus.leave-group", self._rpc_leave_group)
         self.serve("focus.group-report", self._rpc_report)
         self.serve("focus.query", self._rpc_query)
         self.serve("focus.create-view", self._rpc_create_view)
@@ -169,8 +186,40 @@ class FocusService(Process, RpcMixin):
         groups (see :meth:`recover_from_store`).
         """
         super().restart()
+        self._busy_until = 0.0
         if self.store_client is not None:
             self.recover_from_store()
+
+    # -------------------------------------------------------------- sharding
+    def owns_family(self, attribute: str, value: float) -> bool:
+        """Whether this server owns the group family covering ``value``.
+
+        The legacy single server owns everything. A shard owns the family iff
+        the plane's consistent-hash ring maps the family key to this shard's
+        address. Geo-split region qualifiers and fork suffixes are not part
+        of the key, so ownership is stable across splits and forks.
+        """
+        if self.family_owner is None:
+            return True
+        key = group_name(attribute, float(value), self.config.cutoff_for(attribute))
+        return self.family_owner(key) == self.address
+
+    def owns_family_base(self, attribute: str, base: float) -> bool:
+        """Ownership by family base value (already cutoff-aligned)."""
+        if self.family_owner is None:
+            return True
+        cutoff = self.config.cutoff_for(attribute)
+        key = group_name(attribute, group_base(base, cutoff), cutoff)
+        return self.family_owner(key) == self.address
+
+    # ------------------------------------------------------- processing queue
+    def enqueue_processing(self, service_time: float) -> float:
+        """Modelled serial query processor: returns the delay until this
+        response leaves the server, advancing the shared busy pointer."""
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        self._busy_until = start + service_time
+        return self._busy_until - now
 
     # ------------------------------------------------------------ southbound
     def _rpc_register(self, params, respond, message):
@@ -200,6 +249,17 @@ class FocusService(Process, RpcMixin):
         except FocusError as exc:
             return {"error": str(exc)}
         return {"group": suggestion}
+
+    def _rpc_leave_group(self, params, respond, message):
+        """A node is leaving a group owned by this shard.
+
+        On the single server, leave+suggest travel together in one
+        ``focus.suggest`` call; across shards the old family's owner can be a
+        different server than the new one's, so the router splits the leave
+        out into this endpoint.
+        """
+        self.dgm.node_left_group(str(params["node_id"]), str(params["group"]))
+        return {"ok": True}
 
     def _rpc_report(self, params, respond, message):
         self.resources.charge_report()

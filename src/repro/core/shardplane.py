@@ -1,0 +1,764 @@
+"""The partitioned FOCUS serving plane: shards, scatter-gather, replicas.
+
+The single ``FocusService`` is the scaling wall for large fleets — every
+registration, report and query funnels through one process. This module
+splits it N ways while keeping every wire protocol intact:
+
+* **sharding** — the attribute/group tables are partitioned by *group
+  family* over a consistent-hash ring (:class:`FamilyShardMap`, built on
+  :class:`~repro.store.hashring.ConsistentHashRing`). A family key is the
+  region- and fork-agnostic part of a group name (``ram_mb.2048``), so all
+  geo-split and forked instances of a family live on one shard and a family
+  never straddles shards.
+* **scatter-gather** — a front :class:`ShardRouter` owns the public
+  ``focus`` address. Registrations replicate to every shard (each shard
+  suggests groups only for the families it owns; the router merges the
+  suggestion lists). Queries scatter only to the shards owning the routed
+  attribute's covering families, pin the routed attribute in the sub-query,
+  and merge partial results deterministically in shard order.
+* **CQRS read replicas** — with ``replica_reads`` on, one
+  :class:`RegionReadReplica` per region answers bounded-staleness queries
+  from a region-local read-through cache, refreshed by materialized-view
+  pushes from the router (``replica.view-update``).
+
+Every answer that did not come straight from the groups carries an explicit
+``staleness_ms`` bound, and re-cached answers backdate their cache entries
+(see :meth:`~repro.core.cache.QueryCache.store`), so staleness compounds
+honestly across cache → replica → cache hops.
+
+``shards=1`` (the default, with ``replica_reads`` off) bypasses all of this
+and returns the legacy single :class:`~repro.core.service.FocusService` —
+byte-identical to the pre-sharding code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.cache import QueryCache
+from repro.core.config import FocusConfig
+from repro.core.naming import group_name, groups_covering
+from repro.core.query import Query
+from repro.core.service import FocusService, ResourceModelConfig
+from repro.core.views import is_view_group, view_group_name, _constraint_key
+from repro.sim.loop import Simulator
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rpc import DEFERRED, RpcMixin
+from repro.store.cluster import StoreCluster
+
+
+def family_key_of_group(group: str) -> str:
+    """The shard-ownership key of a group name.
+
+    Strips the fork suffix (``#2``) and geo-split region qualifier
+    (``@us-west-2``): every instance of a family shares one owner.
+    """
+    return group.split("#", 1)[0].partition("@")[0]
+
+
+class FamilyShardMap:
+    """Consistent-hash assignment of group families to shard addresses."""
+
+    def __init__(self, shard_addresses: List[str], virtual_nodes: int = 64) -> None:
+        from repro.store.hashring import ConsistentHashRing
+
+        self.ring = ConsistentHashRing(virtual_nodes)
+        for address in shard_addresses:
+            self.ring.add_node(address)
+
+    @property
+    def shard_addresses(self) -> List[str]:
+        return self.ring.nodes
+
+    def owner(self, family_key: str) -> str:
+        """The shard owning a family key (``attribute.base``)."""
+        return self.ring.primary_for(family_key)
+
+    def owner_of_group(self, group: str) -> str:
+        return self.owner(family_key_of_group(group))
+
+    def owner_for_value(self, attribute: str, value: float, cutoff: float) -> str:
+        return self.owner(group_name(attribute, value, cutoff))
+
+    def add_shard(self, address: str) -> None:
+        self.ring.add_node(address)
+
+    def remove_shard(self, address: str) -> None:
+        self.ring.remove_node(address)
+
+    def assignment(self, family_keys: List[str]) -> Dict[str, str]:
+        """Family key → owning shard, for every key given."""
+        return {key: self.owner(key) for key in family_keys}
+
+
+class ShardRouter(Process, RpcMixin):
+    """Front door of the sharded serving plane.
+
+    Owns the public FOCUS address, so node agents and applications are
+    oblivious to the partitioning. Stateless with respect to group
+    membership — it holds only the family map, a read-through response
+    cache, and the view registry (view definitions route by view id).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        shards: List[FocusService],
+        *,
+        address: str = "focus",
+        region: str,
+        config: FocusConfig,
+        shard_map: Optional[FamilyShardMap] = None,
+    ) -> None:
+        Process.__init__(self, sim, network, address, region)
+        self.init_rpc()
+        self.enable_rpc_idempotency()
+        self.config = config
+        self.shards = shards
+        self.shard_addresses = [s.address for s in shards]
+        self.shard_map = shard_map or FamilyShardMap(
+            self.shard_addresses, config.shard_virtual_nodes
+        )
+        self.metrics = MetricsRegistry()
+        #: Router-level read-through cache for hot queries: a hit answers
+        #: without touching any shard. Entries inherit the merged answer's
+        #: staleness (backdated fetch time), so freshness bounds hold
+        #: end-to-end.
+        self.cache = QueryCache(config.cache_max_entries)
+        #: view_id -> {"query_json", "key", "owner"}; definitions are
+        #: registered here so matching queries route straight to the owner.
+        self.views: Dict[str, Dict[str, object]] = {}
+        self._view_counter = 0
+        #: Region read replicas fed by the materialization loop.
+        self.replicas: List["RegionReadReplica"] = []
+
+        self.serve("focus.register", self._rpc_register)
+        self.serve("focus.deregister", self._rpc_deregister)
+        self.serve("focus.suggest", self._rpc_suggest)
+        self.serve("focus.group-report", self._rpc_report)
+        self.serve("focus.query", self._rpc_query)
+        self.serve("focus.create-view", self._rpc_create_view)
+        self.serve("focus.drop-view", self._rpc_drop_view)
+        self.serve("focus.join-view", self._rpc_join_view)
+        self.serve("focus.leave-view", self._rpc_leave_view)
+
+    # ------------------------------------------------------------- lifecycle
+    def on_start(self) -> None:
+        if self.replicas:
+            self.every(self.config.replica_refresh_interval, self._refresh_replicas)
+
+    def on_stop(self) -> None:
+        self.reset_rpc()
+
+    # -------------------------------------------------------------- helpers
+    def _shard_timeout(self) -> float:
+        # The shard enforces config.query_timeout internally and answers
+        # with a timed_out payload; the router's own RPC timeout sits above
+        # it so shard-side timeouts surface as data, and only a crashed (or
+        # saturated) shard trips the router-level timeout.
+        return self.config.query_timeout + 1.0
+
+    def _forward(self, shard: str, method: str, params, respond, *, fallback) -> None:
+        """Proxy one call to a shard; answer ``fallback`` if it is down."""
+        self.call(
+            shard,
+            method,
+            params,
+            on_reply=respond,
+            on_timeout=lambda: respond(fallback),
+            timeout=self._shard_timeout(),
+        )
+
+    # ----------------------------------------------------------- registration
+    def _rpc_register(self, params, respond, message):
+        """Replicate the registration to every shard and merge suggestions.
+
+        Each shard registers the node (so its registrar can resolve regions
+        in group reports and answer static queries) but only suggests groups
+        for the families it owns; exactly one shard persists the static
+        tables. The merged reply is indistinguishable from the single
+        server's.
+        """
+        state = {"pending": len(self.shard_addresses), "groups": [],
+                 "views": {}, "error": None, "done": False}
+
+        def advance() -> None:
+            state["pending"] -= 1
+            if state["done"] or state["pending"] > 0:
+                return
+            state["done"] = True
+            if state["error"] is not None and not state["groups"]:
+                respond({"error": state["error"]})
+                return
+            groups = sorted(state["groups"], key=lambda s: str(s.get("attribute", "")))
+            views = [state["views"][vid] for vid in sorted(state["views"])]
+            respond({"groups": groups, "views": views})
+
+        def on_reply(result) -> None:
+            if result:
+                if result.get("error"):
+                    state["error"] = result["error"]
+                state["groups"].extend(result.get("groups") or ())
+                for definition in result.get("views") or ():
+                    state["views"][str(definition["view_id"])] = definition
+            advance()
+
+        for shard in self.shard_addresses:
+            self.call(
+                shard,
+                "focus.register",
+                params,
+                on_reply=on_reply,
+                on_timeout=advance,
+                timeout=self._shard_timeout(),
+            )
+        self.metrics.counter("registrations").inc()
+        return DEFERRED
+
+    def _rpc_deregister(self, params, respond, message):
+        state = {"pending": len(self.shard_addresses)}
+
+        def advance(result=None) -> None:
+            state["pending"] -= 1
+            if state["pending"] == 0:
+                respond({"ok": True})
+
+        for shard in self.shard_addresses:
+            self.call(
+                shard,
+                "focus.deregister",
+                params,
+                on_reply=advance,
+                on_timeout=advance,
+                timeout=self._shard_timeout(),
+            )
+        return DEFERRED
+
+    # ------------------------------------------------------------ suggestions
+    def _rpc_suggest(self, params, respond, message):
+        """Route a suggestion to the owner of the target value's family.
+
+        A move between families owned by different shards is split: the old
+        family's owner gets a ``focus.leave-group`` so its membership and
+        representative bookkeeping stay accurate, and the new owner gets the
+        suggest (without the leave, which it could not serve).
+        """
+        attribute = str(params["attribute"])
+        value = float(params["value"])
+        try:
+            cutoff = self.config.cutoff_for(attribute)
+        except Exception as exc:
+            return {"error": str(exc)}
+        target = self.shard_map.owner_for_value(attribute, value, cutoff)
+        forward = dict(params)
+        leaving = forward.get("leaving")
+        if leaving:
+            old_owner = self.shard_map.owner_of_group(str(leaving))
+            if old_owner != target:
+                forward.pop("leaving")
+                self.call(
+                    old_owner,
+                    "focus.leave-group",
+                    {"node_id": params["node_id"], "group": leaving},
+                    on_reply=lambda result: None,
+                    timeout=self._shard_timeout(),
+                )
+        self._forward(
+            target, "focus.suggest", forward, respond,
+            fallback={"error": f"shard {target} unavailable"},
+        )
+        return DEFERRED
+
+    # ---------------------------------------------------------------- reports
+    def _rpc_report(self, params, respond, message):
+        group = str(params.get("group", ""))
+        if is_view_group(group):
+            owner = self.shard_map.owner(group)
+        else:
+            owner = self.shard_map.owner_of_group(group)
+        # A representative whose shard is down must keep reporting, so the
+        # fallback keeps its duty; the next report lands after failover.
+        self._forward(
+            owner, "focus.group-report", params, respond,
+            fallback={"ok": False, "representative": True},
+        )
+        return DEFERRED
+
+    # ------------------------------------------------------------------ views
+    def _rpc_create_view(self, params, respond, message):
+        view_id = params.get("view_id")
+        if view_id is None:
+            self._view_counter += 1
+            view_id = f"v{self._view_counter}"
+        view_id = str(view_id)
+        if view_id in self.views:
+            return {"error": f"view {view_id!r} already exists"}
+        owner = self.shard_map.owner(view_group_name(view_id))
+        forward = dict(params)
+        forward["view_id"] = view_id
+
+        def on_reply(result) -> None:
+            if result and not result.get("error"):
+                query = Query.from_json(params["query"])
+                self.views[view_id] = {
+                    "query_json": query.to_json(),
+                    "key": _constraint_key(query),
+                    "owner": owner,
+                }
+            respond(result)
+
+        self.call(
+            owner,
+            "focus.create-view",
+            forward,
+            on_reply=on_reply,
+            on_timeout=lambda: respond({"error": f"shard {owner} unavailable"}),
+            timeout=self._shard_timeout(),
+        )
+        return DEFERRED
+
+    def _rpc_drop_view(self, params, respond, message):
+        view_id = str(params["view_id"])
+        info = self.views.pop(view_id, None)
+        owner = (
+            str(info["owner"]) if info is not None
+            else self.shard_map.owner(view_group_name(view_id))
+        )
+        self._forward(owner, "focus.drop-view", params, respond,
+                      fallback={"ok": False})
+        return DEFERRED
+
+    def _rpc_join_view(self, params, respond, message):
+        owner = self.shard_map.owner(view_group_name(str(params["view_id"])))
+        self._forward(owner, "focus.join-view", params, respond,
+                      fallback={"error": "view shard unavailable"})
+        return DEFERRED
+
+    def _rpc_leave_view(self, params, respond, message):
+        owner = self.shard_map.owner(view_group_name(str(params["view_id"])))
+        self._forward(owner, "focus.leave-view", params, respond,
+                      fallback={"ok": False})
+        return DEFERRED
+
+    # ---------------------------------------------------------------- queries
+    def _rpc_query(self, params, respond, message):
+        query = Query.from_json(params["query"])
+        self.metrics.counter("queries").inc()
+
+        if self.config.cache_enabled:
+            entry = self.cache.lookup_entry(query, self.sim.now)
+            if entry is not None:
+                matches = entry.matches
+                if query.limit is not None:
+                    matches = matches[: query.limit]
+                age_ms = (self.sim.now - entry.fetched_at) * 1000.0
+                return self._payload(matches, "cache", staleness_ms=age_ms)
+
+        view = self._match_view(query)
+        if view is not None:
+            self._forward_query(str(view["owner"]), params, query, respond)
+            return DEFERRED
+
+        attribute, owners = self._scatter_plan(query)
+        if attribute is None:
+            # Static-only query: every shard holds the full registry; the
+            # statics shard also owns the store tables.
+            self._forward_query(self.shard_addresses[0], params, query, respond)
+            return DEFERRED
+        if len(owners) == 1:
+            sub = dict(params)
+            sub["routed_attribute"] = attribute
+            self._forward_query(owners[0], sub, query, respond)
+            return DEFERRED
+        self._scatter_gather(params, query, attribute, owners, respond)
+        return DEFERRED
+
+    def _match_view(self, query: Query) -> Optional[Dict[str, object]]:
+        wanted = _constraint_key(query)
+        for view_id in sorted(self.views):
+            if self.views[view_id]["key"] == wanted:
+                return self.views[view_id]
+        return None
+
+    def _scatter_plan(self, query: Query):
+        """Routed attribute + owning shards for a query.
+
+        The router has no group tables, so the single server's smallest-group
+        routing is approximated by the *fewest enumerated covering families*
+        — the same tables-free signal both sides can compute. Bounds are
+        clamped to the schema's declared value range before enumeration.
+        """
+        schema = self.config.schema
+        best_attribute: Optional[str] = None
+        best_families: Optional[List[str]] = None
+        for term in query.terms:
+            spec = schema.maybe_get(term.name)
+            if spec is None or not spec.is_dynamic:
+                continue
+            families = groups_covering(
+                term.name,
+                term.lower if term.equals is None else None,
+                term.upper if term.equals is None else None,
+                spec.cutoff,
+                value_min=spec.min_value,
+                value_max=spec.max_value,
+            )
+            prefer_smallest = self.config.smallest_group_routing
+            better = best_families is None or (
+                len(families) < len(best_families)
+                if prefer_smallest
+                else len(families) > len(best_families)
+            )
+            if better:
+                best_attribute, best_families = term.name, families
+        if best_attribute is None:
+            return None, []
+        owner_set = {self.shard_map.owner(key) for key in best_families}
+        owners = [a for a in self.shard_addresses if a in owner_set]
+        return best_attribute, owners
+
+    def _forward_query(self, shard: str, params, query: Query, respond) -> None:
+        """Single-shard query path; the reply is re-cached at the router."""
+
+        def on_reply(result) -> None:
+            self._absorb_and_respond(query, [result], respond)
+
+        self.call(
+            shard,
+            "focus.query",
+            params,
+            on_reply=on_reply,
+            on_timeout=lambda: respond(
+                self._payload([], "shard-timeout", timed_out=True)
+            ),
+            timeout=self._shard_timeout(),
+        )
+
+    def _scatter_gather(self, params, query, attribute, owners, respond) -> None:
+        """Fan a query out to the owning shards and merge partial results."""
+        self.metrics.counter("scatter_queries").inc()
+        sub = dict(params)
+        sub["routed_attribute"] = attribute
+        partials: Dict[str, Optional[dict]] = {}
+        state = {"pending": len(owners)}
+
+        def advance() -> None:
+            state["pending"] -= 1
+            if state["pending"] > 0:
+                return
+            # Merge in shard order (not arrival order) so the merged match
+            # list — and everything derived from it — is deterministic.
+            ordered = [partials.get(owner) for owner in owners]
+            self._absorb_and_respond(query, ordered, respond)
+
+        for owner in owners:
+            def on_reply(result, owner=owner) -> None:
+                partials[owner] = result
+                advance()
+
+            self.call(
+                owner,
+                "focus.query",
+                sub,
+                on_reply=on_reply,
+                on_timeout=advance,
+                timeout=self._shard_timeout(),
+            )
+
+    def _absorb_and_respond(self, query: Query, partials, respond) -> None:
+        """Merge shard answers, cache the result, respond to the caller."""
+        matches: Dict[str, dict] = {}
+        staleness = 0.0
+        groups_queried = 0
+        timed_out = False
+        delegated_groups: List[dict] = []
+        delegated_transitions: List[str] = []
+        seen_any = False
+        for partial in partials:
+            if not partial:
+                timed_out = True  # a shard never answered (crash/saturation)
+                continue
+            seen_any = True
+            for record in partial.get("matches") or ():
+                matches.setdefault(str(record["node"]), record)
+            staleness = max(staleness, float(partial.get("staleness_ms", 0.0)))
+            groups_queried += int(partial.get("groups_queried", 0))
+            timed_out = timed_out or bool(partial.get("timed_out", False))
+            delegated = partial.get("delegated")
+            if delegated:
+                delegated_groups.extend(delegated.get("groups") or ())
+                delegated_transitions.extend(delegated.get("transitions") or ())
+        if delegated_groups or delegated_transitions:
+            # Delegated shards returned candidates instead of results; hand
+            # the merged candidate set to the client, which pulls directly.
+            respond({
+                "matches": [],
+                "source": "delegated",
+                "delegated": {
+                    "groups": delegated_groups,
+                    "transitions": delegated_transitions,
+                },
+            })
+            return
+        merged = list(matches.values())
+        errored = any(p and p.get("error") for p in partials)
+        if not timed_out and not errored and seen_any and self.config.cache_enabled:
+            self.cache.store(query, merged, self.sim.now, staleness_ms=staleness)
+        if query.limit is not None:
+            merged = merged[: query.limit]
+        if not seen_any:
+            source = "shard-timeout"
+        elif len(partials) == 1 and partials[0]:
+            source = str(partials[0].get("source", "groups"))
+        else:
+            source = "groups"
+        payload = self._payload(
+            merged, source,
+            timed_out=timed_out, groups_queried=groups_queried,
+            staleness_ms=staleness,
+        )
+        if len(partials) == 1 and partials[0] and partials[0].get("error"):
+            payload["error"] = partials[0]["error"]
+        respond(payload)
+
+    @staticmethod
+    def _payload(matches, source, *, timed_out=False, groups_queried=0,
+                 staleness_ms=0.0):
+        return {
+            "matches": matches,
+            "source": source,
+            "timed_out": timed_out,
+            "groups_queried": groups_queried,
+            "staleness_ms": staleness_ms,
+        }
+
+    # ----------------------------------------------------- view materialization
+    def _refresh_replicas(self) -> None:
+        """CQRS write side → read side: re-materialize every view's result
+        set and push it to each region replica with its staleness bound."""
+        for view_id in sorted(self.views):
+            info = self.views[view_id]
+
+            def on_reply(result, info=info) -> None:
+                if not result or result.get("timed_out") or result.get("error"):
+                    return
+                payload = {
+                    "query": info["query_json"],
+                    "matches": list(result.get("matches") or ()),
+                    "staleness_ms": float(result.get("staleness_ms", 0.0)),
+                }
+                for replica in self.replicas:
+                    self.call(
+                        replica.address,
+                        "replica.view-update",
+                        payload,
+                        on_reply=lambda r: None,
+                        timeout=self._shard_timeout(),
+                    )
+
+            self.call(
+                str(info["owner"]),
+                "focus.query",
+                {"query": info["query_json"]},
+                on_reply=on_reply,
+                timeout=self._shard_timeout(),
+            )
+
+
+class RegionReadReplica(Process, RpcMixin):
+    """A per-region read-only FOCUS endpoint (the CQRS read side).
+
+    Applications in the region query it with a freshness bound; it answers
+    from its local cache (materialized views pushed by the router, plus
+    read-through fills) whenever the cached answer is fresh enough, and
+    forwards to the router otherwise. Every local answer reports its age as
+    ``staleness_ms``; read-through fills inherit and compound the upstream
+    staleness via the cache's backdated fetch time.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        router_address: str,
+        *,
+        region: str,
+        config: FocusConfig,
+    ) -> None:
+        Process.__init__(self, sim, network, replica_address(region), region)
+        self.init_rpc()
+        self.router_address = router_address
+        self.config = config
+        self.cache = QueryCache(config.cache_max_entries)
+        self.metrics = MetricsRegistry()
+        self.serve("focus.query", self._rpc_query)
+        self.serve("replica.view-update", self._rpc_view_update)
+
+    def _rpc_query(self, params, respond, message):
+        query = Query.from_json(params["query"])
+        entry = self.cache.lookup_entry(query, self.sim.now)
+        if entry is not None:
+            self.metrics.counter("replica_hits").inc()
+            matches = entry.matches
+            if query.limit is not None:
+                matches = matches[: query.limit]
+            age_ms = (self.sim.now - entry.fetched_at) * 1000.0
+            return {
+                "matches": matches,
+                "source": "replica",
+                "timed_out": False,
+                "groups_queried": 0,
+                "staleness_ms": age_ms,
+            }
+        self.metrics.counter("replica_misses").inc()
+
+        def on_reply(result) -> None:
+            if result and not result.get("timed_out") and not result.get("error") \
+                    and not result.get("delegated"):
+                self.cache.store(
+                    query,
+                    list(result.get("matches") or ()),
+                    self.sim.now,
+                    staleness_ms=float(result.get("staleness_ms", 0.0)),
+                )
+            respond(result)
+
+        self.call(
+            self.router_address,
+            "focus.query",
+            params,
+            on_reply=on_reply,
+            on_timeout=lambda: respond({
+                "matches": [], "source": "timeout", "timed_out": True,
+                "groups_queried": 0, "staleness_ms": 0.0,
+            }),
+            timeout=self.config.query_timeout * 3,
+        )
+        return DEFERRED
+
+    def _rpc_view_update(self, params, respond, message):
+        query = Query.from_json(params["query"])
+        self.cache.store(
+            query,
+            list(params.get("matches") or ()),
+            self.sim.now,
+            staleness_ms=float(params.get("staleness_ms", 0.0)),
+        )
+        self.metrics.counter("view_updates").inc()
+        return {"ok": True}
+
+
+def replica_address(region: str) -> str:
+    """Network address of a region's read replica."""
+    return f"focus-replica@{region}"
+
+
+@dataclass
+class ShardPlane:
+    """A deployed serving plane: 1..N shards, optional router and replicas."""
+
+    shards: List[FocusService]
+    router: Optional[ShardRouter] = None
+    replicas: List[RegionReadReplica] = field(default_factory=list)
+
+    @property
+    def entry_address(self) -> str:
+        """Where node agents and applications send ``focus.*`` calls."""
+        return self.router.address if self.router is not None else self.shards[0].address
+
+    @property
+    def primary(self) -> FocusService:
+        """The statics shard (and, legacy, the only server)."""
+        return self.shards[0]
+
+    def server_addresses(self) -> List[str]:
+        """Every serving-plane address, for bandwidth accounting."""
+        addresses = [s.address for s in self.shards]
+        if self.router is not None:
+            addresses.append(self.router.address)
+        addresses.extend(r.address for r in self.replicas)
+        return addresses
+
+    def start(self) -> None:
+        for shard in self.shards:
+            shard.start()
+        if self.router is not None:
+            self.router.start()
+        for replica in self.replicas:
+            replica.start()
+
+    def all_groups(self):
+        """Union of every shard's group table (disjoint by construction)."""
+        for shard in self.shards:
+            yield from shard.dgm.groups.all_groups()
+
+
+def shard_address(base: str, index: int) -> str:
+    """Network address of shard ``index`` behind public address ``base``."""
+    return f"{base}-shard{index}"
+
+
+def build_shard_plane(
+    sim: Simulator,
+    network: Network,
+    *,
+    address: str = "focus",
+    region: str,
+    regions: Optional[List[str]] = None,
+    config: FocusConfig,
+    store_cluster: Optional[StoreCluster] = None,
+    resource_config: Optional[ResourceModelConfig] = None,
+) -> ShardPlane:
+    """Construct (but do not start) a serving plane per ``config``.
+
+    ``shards=1`` without ``replica_reads`` returns the legacy single
+    server under the public address — no router, no extra processes, no
+    extra RNG streams: byte-identical to the pre-sharding deployment.
+    """
+    if config.shards <= 1 and not config.replica_reads:
+        service = FocusService(
+            sim,
+            network,
+            address=address,
+            region=region,
+            config=config,
+            store_cluster=store_cluster,
+            resource_config=resource_config,
+        )
+        return ShardPlane(shards=[service])
+
+    regions = regions or [region]
+    addresses = [shard_address(address, i) for i in range(max(config.shards, 1))]
+    shard_map = FamilyShardMap(addresses, config.shard_virtual_nodes)
+    shards = [
+        FocusService(
+            sim,
+            network,
+            address=addr,
+            region=regions[index % len(regions)],
+            config=config,
+            store_cluster=store_cluster,
+            resource_config=resource_config,
+            family_owner=shard_map.owner,
+            persist_statics=(index == 0),
+        )
+        for index, addr in enumerate(addresses)
+    ]
+    router = ShardRouter(
+        sim, network, shards,
+        address=address, region=region, config=config, shard_map=shard_map,
+    )
+    replicas: List[RegionReadReplica] = []
+    if config.replica_reads:
+        replicas = [
+            RegionReadReplica(
+                sim, network, router.address, region=r, config=config
+            )
+            for r in regions
+        ]
+        router.replicas = replicas
+    return ShardPlane(shards=shards, router=router, replicas=replicas)

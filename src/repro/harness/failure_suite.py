@@ -25,6 +25,7 @@ import hashlib
 import json
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.config import FocusConfig
 from repro.core.query import Query, QueryTerm
 from repro.faults import (
     ChaosEngine,
@@ -144,18 +145,25 @@ class ResilienceProbe:
         return worst - heal_time
 
 
-def _build(seed: int, num_nodes: int) -> Tuple[FocusScenario, ChaosEngine]:
+def _build(
+    seed: int, num_nodes: int, shards: int = 1
+) -> Tuple[FocusScenario, ChaosEngine]:
+    config = FocusConfig(shards=shards) if shards > 1 else None
     scenario = build_focus_cluster(
         num_nodes,
         seed=seed,
+        config=config,
         warm_start=True,
         with_store=True,
         record_bandwidth_events=False,
     )
+    targets = {service.address: service for service in scenario.services}
+    if scenario.plane is not None and scenario.plane.router is not None:
+        targets[scenario.plane.router.address] = scenario.plane.router
     engine = ChaosEngine(
         scenario.sim,
         scenario.network,
-        targets={scenario.service.address: scenario.service},
+        targets=targets,
         churn=ChurnController(scenario),
     )
     for agent in scenario.agents:
@@ -297,11 +305,54 @@ def run_server_failover(seed: int = 0, num_nodes: int = 24) -> Dict[str, object]
     )
 
 
+def run_shard_failover(seed: int = 0, num_nodes: int = 24) -> Dict[str, object]:
+    """Crash one shard of a 4-way plane; restart + store recovery 10 s later.
+
+    The victim is the shard owning the probe's routed family (``ram_mb.0``),
+    so every probe inside the fault window loses exactly that shard's
+    partial answer: probes surface as partial/timed-out results (the router
+    merges what the live shards returned), while the other shards keep
+    serving their families — the isolation property the sharding buys.
+    Recovery mirrors the single-server failover: registrations reload from
+    the store, group tables rebuild from representative reports.
+    """
+    scenario, engine = _build(seed, num_nodes, shards=4)
+    plane = scenario.plane
+    assert plane is not None and plane.router is not None
+    victim = plane.router.shard_map.owner("ram_mb.0")
+    victim_service = next(s for s in plane.shards if s.address == victim)
+    owned_families = len({
+        g.name.split("#", 1)[0].partition("@")[0]
+        for g in victim_service.dgm.groups.all_groups()
+    })
+    t0 = scenario.sim.now
+    fault_at, restart_after = t0 + 5.0, 10.0
+    engine.execute(
+        FaultPlan().add(
+            CrashNode(at=fault_at, target=victim, restart_after=restart_after)
+        )
+    )
+    probe = ResilienceProbe(scenario)
+    probe.schedule(t0 + 1.0, t0 + 38.0)
+    scenario.sim.run_until(t0 + 45.0)
+    report = _finish(
+        "shard-failover", seed, scenario, engine, probe,
+        fault_time=fault_at,
+        heal_time=fault_at + restart_after,
+        detection=probe.timeout_detection_latency(fault_at),
+    )
+    report["shards"] = len(plane.shards)
+    report["victim_shard"] = victim
+    report["victim_owned_families"] = owned_families
+    return report
+
+
 SCENARIOS = {
     "single-node-crash": run_single_node_crash,
     "region-partition": run_region_partition,
     "churn-storm": run_churn_storm,
     "focus-server-failover": run_server_failover,
+    "shard-failover": run_shard_failover,
 }
 
 
@@ -323,3 +374,34 @@ def run_suite(
                                  "scenarios": results}
     report["checksum"] = report_checksum(results)
     return report
+
+
+def main(argv=None) -> int:
+    """CLI: run the seeded failure suite, write the checksummed report.
+
+    CI runs this on every matrix leg and uploads the JSON as an artifact, so
+    a resilience regression shows up as a checksum diff between runs.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenarios", nargs="*", default=None,
+                        choices=sorted(SCENARIOS),
+                        help="subset to run (default: every scenario)")
+    parser.add_argument("--out", default="resilience_report.json")
+    args = parser.parse_args(argv)
+
+    report = run_suite(seed=args.seed, scenarios=args.scenarios)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, result in report["scenarios"].items():
+        print(f"{name:22s} detection={result.get('detection_latency_s')}s "
+              f"reconvergence={result.get('reconvergence_s')}s")
+    print(f"checksum {report['checksum'][:16]}… -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,7 @@ from repro.core.config import FocusConfig
 from repro.core.groups import serf_address
 from repro.core.rest import Application
 from repro.core.service import FocusService
+from repro.core.shardplane import ShardPlane, build_shard_plane
 from repro.gossip.member import Member, MemberState
 from repro.sim.loop import Simulator
 from repro.sim.network import Network
@@ -46,6 +47,8 @@ class FocusScenario:
     app: Application
     config: FocusConfig
     store: Optional[StoreCluster] = None
+    #: The serving plane (``shards=1`` wraps the legacy single server).
+    plane: Optional[ShardPlane] = None
 
     def agent(self, node_id: str) -> NodeAgent:
         for agent in self.agents:
@@ -53,15 +56,30 @@ class FocusScenario:
                 return agent
         raise KeyError(node_id)
 
+    @property
+    def services(self) -> List[FocusService]:
+        """Every shard service (legacy deployments have exactly one)."""
+        return self.plane.shards if self.plane is not None else [self.service]
+
+    def _server_addresses(self) -> List[str]:
+        if self.plane is not None:
+            return self.plane.server_addresses()
+        return [self.service.address]
+
     def server_bandwidth_bytes(self) -> int:
-        """Bytes sent+received at the FOCUS server (the Fig. 7a metric)."""
-        return self.network.meter(self.service.address).total_bytes
+        """Bytes sent+received at the serving plane (the Fig. 7a metric);
+        sums shards, router and replicas on a sharded deployment."""
+        return sum(
+            self.network.meter(address).total_bytes
+            for address in self._server_addresses()
+        )
 
     def reset_bandwidth(self) -> None:
         for agent in self.agents:
             for address in agent.endpoint_addresses():
                 self.network.meter(address).reset()
-        self.network.meter(self.service.address).reset()
+        for address in self._server_addresses():
+            self.network.meter(address).reset()
         self.network.meter(self.app.address).reset()
 
 
@@ -122,15 +140,17 @@ def build_focus_cluster(
     )
     regions = [r.name for r in network.topology.regions]
     store = StoreCluster(sim, network, num_replicas=3) if with_store else None
-    service = FocusService(
+    plane = build_shard_plane(
         sim,
         network,
         region=regions[0],
+        regions=regions,
         config=config,
         store_cluster=store,
     )
-    service.start()
-    app = Application(sim, network, "app", regions[0])
+    plane.start()
+    service = plane.primary
+    app = Application(sim, network, "app", regions[0], focus_address=plane.entry_address)
     app.start()
 
     rng = sim.derive_rng("scenario")
@@ -151,7 +171,7 @@ def build_focus_cluster(
             network,
             node_id,
             region,
-            service.address,
+            plane.entry_address,
             static=static,
             dynamic=dynamic,
             config=config,
@@ -168,6 +188,7 @@ def build_focus_cluster(
         app=app,
         config=config,
         store=store,
+        plane=plane,
     )
     if warm_start:
         _warm_start(scenario)
@@ -232,54 +253,63 @@ def _protocol_bring_up(scenario: FocusScenario, window: float, rng) -> None:
 
 
 def _warm_start(scenario: FocusScenario) -> None:
-    """Bring the cluster up in its converged state (see module docstring)."""
+    """Bring the cluster up in its converged state (see module docstring).
+
+    On a sharded plane the registration is applied to every shard (as the
+    router would replicate it); each shard suggests only the group families
+    it owns, so concatenating the per-shard suggestion lists reproduces the
+    single server's suggestion set exactly.
+    """
     sim = scenario.sim
-    service = scenario.service
+    services = scenario.services
     for agent in scenario.agents:
         # Register directly (same code path as the RPC handler, minus the
         # network round trip).
-        result = service.registrar.register(
-            {
-                "node_id": agent.node_id,
-                "region": agent.region,
-                "static": agent.static,
-                "dynamic": agent.dynamic,
-            }
-        )
+        request = {
+            "node_id": agent.node_id,
+            "region": agent.region,
+            "static": agent.static,
+            "dynamic": agent.dynamic,
+        }
+        suggestions: List[Dict[str, object]] = []
+        for service in services:
+            suggestions.extend(service.registrar.register(request)["groups"])
+        suggestions.sort(key=lambda s: str(s.get("attribute", "")))
         agent.start_without_registration()
         agent.registered = True
-        for suggestion in result["groups"]:
+        for suggestion in suggestions:
             # Suppress join traffic: memberships are seeded below.
             suggestion = dict(suggestion)
             suggestion["entry_points"] = []
             agent._join_group(suggestion)
     # Seed every serf agent's member list with its full group and promote
     # the DGM's pending entries to confirmed members.
-    for group in service.dgm.groups.all_groups():
-        node_ids = group.all_node_ids()
-        regions = {}
-        for agent in scenario.agents:
-            if agent.node_id in group.pending or agent.node_id in group.members:
-                regions[agent.node_id] = agent.region
-        for agent in scenario.agents:
-            membership = next(
-                (m for m in agent.memberships.values() if m.group == group.name),
-                None,
-            )
-            if membership is None:
-                continue
-            for node_id in node_ids:
-                if node_id == agent.node_id:
-                    continue
-                membership.serf.members.upsert(
-                    Member(
-                        node_id,
-                        serf_address(node_id, group.name),
-                        regions.get(node_id, agent.region),
-                        incarnation=0,
-                        state=MemberState.ALIVE,
-                        state_time=sim.now,
-                    )
+    for service in services:
+        for group in service.dgm.groups.all_groups():
+            node_ids = group.all_node_ids()
+            regions = {}
+            for agent in scenario.agents:
+                if agent.node_id in group.pending or agent.node_id in group.members:
+                    regions[agent.node_id] = agent.region
+            for agent in scenario.agents:
+                membership = next(
+                    (m for m in agent.memberships.values() if m.group == group.name),
+                    None,
                 )
-        group.record_report(node_ids, regions, sim.now)
-    service.dgm.transitions.clear()
+                if membership is None:
+                    continue
+                for node_id in node_ids:
+                    if node_id == agent.node_id:
+                        continue
+                    membership.serf.members.upsert(
+                        Member(
+                            node_id,
+                            serf_address(node_id, group.name),
+                            regions.get(node_id, agent.region),
+                            incarnation=0,
+                            state=MemberState.ALIVE,
+                            state_time=sim.now,
+                        )
+                    )
+            group.record_report(node_ids, regions, sim.now)
+        service.dgm.transitions.clear()

@@ -93,15 +93,52 @@ def hot_spot_query(rng: random.Random, *, limit: Optional[int] = None) -> Query:
     return Query([QueryTerm.at_most("cpu_percent", 25.0)], limit=limit)  # idle
 
 
+def multi_attribute_query(
+    rng: random.Random,
+    *,
+    limit: Optional[int] = None,
+    freshness_ms: float = 0.0,
+) -> Query:
+    """Bounded ranges on several dynamic attributes at once.
+
+    Each range spans a handful of group families, so on a sharded serving
+    plane the routed attribute's families usually live on more than one
+    shard — the workload's scatter-gather stressor (single-attribute
+    placement queries mostly collapse onto one shard).
+    """
+    ram, _disk, vcpus = rng.choices(FLAVORS, weights=(10, 35, 30, 18, 7))[0]
+    cpu_low = rng.choice((0.0, 25.0, 50.0))
+    return Query(
+        [
+            QueryTerm("ram_mb", lower=float(ram), upper=min(ram + 4096.0, 16384.0)),
+            QueryTerm("cpu_percent", lower=cpu_low, upper=cpu_low + 50.0),
+            QueryTerm("vcpus", lower=float(vcpus), upper=8.0),
+        ],
+        limit=limit,
+        freshness_ms=freshness_ms,
+    )
+
+
 class QueryWorkload:
-    """Weighted mix of the Table I query categories."""
+    """Weighted mix of the Table I query categories.
+
+    ``hot_key_fraction`` adds hot-key skew: that fraction of queries replays
+    one of ``hot_set_size`` fixed queries drawn once at construction (the
+    cache/replica-friendly head of a Zipf-ish popularity curve). The default
+    of 0 draws nothing extra, so existing seeded workload streams are
+    byte-identical to the pre-skew generator.
+    """
 
     CATEGORIES = {
         "placement": placement_query,
         "service_status": service_status_query,
         "tenant_report": tenant_report_query,
         "hot_spot": hot_spot_query,
+        "multi_attribute": multi_attribute_query,
     }
+
+    #: Categories whose generators take the workload's freshness bound.
+    _FRESHNESS_CATEGORIES = frozenset({"placement", "multi_attribute"})
 
     def __init__(
         self,
@@ -110,6 +147,8 @@ class QueryWorkload:
         weights: Optional[dict] = None,
         limit: int = 10,
         freshness_ms: float = 0.0,
+        hot_key_fraction: float = 0.0,
+        hot_set_size: int = 8,
     ) -> None:
         self._rng = random.Random(f"querygen/{seed}")
         self.weights = weights or {
@@ -123,13 +162,31 @@ class QueryWorkload:
             raise ValueError(f"unknown query categories: {sorted(unknown)}")
         self.limit = limit
         self.freshness_ms = freshness_ms
+        if not 0.0 <= hot_key_fraction <= 1.0:
+            raise ValueError(f"hot_key_fraction must be in [0, 1], got {hot_key_fraction}")
+        self.hot_key_fraction = hot_key_fraction
+        # The hot set and the skew coin live on their own RNG stream,
+        # created only when skew is on: a fraction of 0 must not shift the
+        # main stream by a single draw.
+        self._hot_rng: Optional[random.Random] = None
+        self._hot_set: List[Query] = []
+        if hot_key_fraction > 0.0:
+            self._hot_rng = random.Random(f"querygen/hot/{seed}")
+            self._hot_set = [
+                grouped_placement_query(
+                    self._hot_rng, limit=limit, freshness_ms=freshness_ms
+                )
+                for _ in range(hot_set_size)
+            ]
 
     def next_query(self) -> Query:
+        if self._hot_rng is not None and self._hot_rng.random() < self.hot_key_fraction:
+            return self._hot_rng.choice(self._hot_set)
         category = self._rng.choices(
             list(self.weights.keys()), weights=list(self.weights.values())
         )[0]
         generator = self.CATEGORIES[category]
-        if category == "placement":
+        if category in self._FRESHNESS_CATEGORIES:
             return generator(self._rng, limit=self.limit, freshness_ms=self.freshness_ms)
         return generator(self._rng, limit=self.limit)
 

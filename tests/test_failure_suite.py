@@ -57,5 +57,5 @@ class TestReportShape:
     def test_registry_names_all_scenarios(self):
         assert set(SCENARIOS) == {
             "single-node-crash", "region-partition", "churn-storm",
-            "focus-server-failover",
+            "focus-server-failover", "shard-failover",
         }
