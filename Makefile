@@ -12,7 +12,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: check lint test scheduler-equivalence bench-gate bench-kernel \
-        bench-kernel-smoke bench chaos-smoke bench-shards bench-shards-smoke
+        bench-kernel-smoke bench chaos-smoke bench-shards bench-shards-smoke \
+        bench-overload bench-overload-smoke
 
 check: lint test scheduler-equivalence bench-gate chaos-smoke
 
@@ -39,13 +40,18 @@ bench-kernel-smoke:
 bench-shards-smoke:
 	$(PYTHON) benchmarks/bench_shards.py --quick
 
+bench-overload-smoke:
+	$(PYTHON) benchmarks/bench_overload.py --quick
+
 # Regenerate the quick-mode results and diff them against the committed
 # full-mode baselines; see benchmarks/gate.py for what is compared. The
 # GATE_SUMMARY hook lets CI append the verdict to $GITHUB_STEP_SUMMARY.
-bench-gate: bench-kernel-smoke bench-shards-smoke
+bench-gate: bench-kernel-smoke bench-shards-smoke bench-overload-smoke
 	$(PYTHON) benchmarks/gate.py \
 		--shards-baseline BENCH_shards.json \
 		--shards-candidate BENCH_shards.quick.json \
+		--overload-baseline BENCH_overload.json \
+		--overload-candidate BENCH_overload.quick.json \
 		$(if $(GATE_SUMMARY),--summary $(GATE_SUMMARY))
 
 # Fault-injection determinism gate: the seeded failure scenario's resilience
@@ -60,6 +66,10 @@ bench-kernel:
 # Full-mode shard scale-out sweep (~15 min); regenerates BENCH_shards.json.
 bench-shards:
 	$(PYTHON) benchmarks/bench_shards.py
+
+# Full-mode saturation-knee sweep (~2 min); regenerates BENCH_overload.json.
+bench-overload:
+	$(PYTHON) benchmarks/bench_overload.py
 
 # Full paper-figure regeneration (~10 minutes); see benchmarks/README.md.
 bench:

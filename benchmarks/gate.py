@@ -283,6 +283,47 @@ def check_shards(
     return failures
 
 
+#: The four knee-verdict booleans every overload report must hold; see
+#: ``bench_overload.py`` for the precise definitions.
+OVERLOAD_KNEE_CHECKS = (
+    "off_collapses", "off_p99_blowup", "on_goodput_floor", "on_p99_bounded",
+)
+
+
+def check_overload(
+    baseline: Dict[str, object], candidate: Dict[str, object]
+) -> List[str]:
+    """Gate the overload knee pair (BENCH_overload.json vs a fresh run).
+
+    Beyond the shared structural checks, the knee verdict booleans must
+    hold in **both** files: in the baseline so a stale or hand-edited
+    committed report cannot hide a regression, and in the candidate so the
+    defenses demonstrably still move the knee on the machine running the
+    gate. The candidate may be quick-mode (fewer sweep points, shorter
+    window) or full-mode (the nightly sweep).
+    """
+    failures = structural_failures(
+        baseline, candidate,
+        label="overload",
+        checksum_keys=(("checksum", "stable", "overload-knee"),),
+        candidate_may_be_full=True,
+    )
+
+    for side, report in (("baseline", baseline), ("candidate", candidate)):
+        knee = ((report.get("results") or {}).get("knee_sweep") or {}).get("knee")
+        if knee is None:
+            failures.append(f"overload: {side} has no knee_sweep.knee verdict")
+            continue
+        for name in OVERLOAD_KNEE_CHECKS:
+            if not knee.get(name):
+                failures.append(
+                    f"overload: {side} knee verdict '{name}' is false — the "
+                    "defenses no longer move the saturation knee"
+                )
+
+    return failures
+
+
 def _checksum_of(report: Optional[Dict[str, object]], key: str = "checksum") -> str:
     """First 16 hex chars of a report's determinism checksum (or ``-``)."""
     if not report:
@@ -297,6 +338,7 @@ def write_summary(
     *,
     kernel: Optional[Tuple[Dict[str, object], Dict[str, object]]],
     shards: Optional[Tuple[Dict[str, object], Dict[str, object]]],
+    overload: Optional[Tuple[Dict[str, object], Dict[str, object]]] = None,
 ) -> None:
     """Append the gate verdict as markdown to ``path`` (a step summary)."""
     lines = ["## Bench gate", ""]
@@ -324,6 +366,19 @@ def write_summary(
                      f"{SHARDS_SCALEOUT_FLOOR:.1f}x full / "
                      f"{SHARDS_QUICK_SCALEOUT_FLOOR:.1f}x quick) "
                      f"| {ratio(base)} | {ratio(cand)} |")
+    if overload is not None:
+        base, cand = overload
+        lines.append(f"| overload checksum | {_checksum_of(base)} "
+                     f"| {_checksum_of(cand)} |")
+
+        def knee_ok(report: Dict[str, object]) -> str:
+            knee = ((report.get("results") or {})
+                    .get("knee_sweep") or {}).get("knee") or {}
+            held = sum(1 for name in OVERLOAD_KNEE_CHECKS if knee.get(name))
+            return f"{held}/{len(OVERLOAD_KNEE_CHECKS)} held"
+
+        lines.append(f"| overload knee verdict | {knee_ok(base)} "
+                     f"| {knee_ok(cand)} |")
     lines.append("")
     if failures:
         lines.append("### Failures")
@@ -347,6 +402,11 @@ def main(argv=None) -> int:
                              "(omit to skip the shards gate)")
     parser.add_argument("--shards-candidate", default=None,
                         help="fresh shard sweep results (quick or full)")
+    parser.add_argument("--overload-baseline", default=None,
+                        help="committed full-mode overload knee results "
+                             "(omit to skip the overload gate)")
+    parser.add_argument("--overload-candidate", default=None,
+                        help="fresh overload knee results (quick or full)")
     parser.add_argument("--allow-full-candidate", action="store_true",
                         help="accept full-mode candidate files (the nightly "
                              "sweep gates full against full)")
@@ -391,9 +451,27 @@ def main(argv=None) -> int:
         shards_pair = (shards_base, shards_cand)
         failures.extend(check_shards(shards_base, shards_cand))
 
+    overload_pair = None
+    if args.overload_baseline or args.overload_candidate:
+        if not (args.overload_baseline and args.overload_candidate):
+            print("gate: --overload-baseline and --overload-candidate must "
+                  "be given together", file=sys.stderr)
+            return 1
+        overload_base = load_or_fail(args.overload_baseline, "")
+        overload_cand = load_or_fail(
+            args.overload_candidate,
+            "(run: PYTHONPATH=src python benchmarks/bench_overload.py "
+            "--quick)",
+        )
+        if overload_base is None or overload_cand is None:
+            return 1
+        overload_pair = (overload_base, overload_cand)
+        failures.extend(check_overload(overload_base, overload_cand))
+
     if args.summary:
         write_summary(args.summary, failures,
-                      kernel=kernel_pair, shards=shards_pair)
+                      kernel=kernel_pair, shards=shards_pair,
+                      overload=overload_pair)
 
     if failures:
         for failure in failures:

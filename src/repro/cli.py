@@ -106,10 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--scenario",
-        choices=["all", "single-node-crash", "region-partition", "churn-storm",
-                 "focus-server-failover"],
         default="all",
-        help="which failure scenario to run (default: all)",
+        metavar="NAME",
+        help="which failure scenario to run: 'all' (default), 'list', or any "
+             "name registered in repro.harness.failure_suite.SCENARIOS",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--out", default=None, metavar="PATH",
@@ -225,6 +225,15 @@ def cmd_chaos(args) -> int:
 
     from repro.harness.failure_suite import SCENARIOS, run_suite
 
+    if args.scenario == "list":
+        for name in SCENARIOS:
+            print(name)
+        return 0
+    if args.scenario != "all" and args.scenario not in SCENARIOS:
+        known = ", ".join(SCENARIOS)
+        print(f"unknown scenario {args.scenario!r}; choose from: all, {known}",
+              file=sys.stderr)
+        return 2
     names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
     report = run_suite(seed=args.seed, scenarios=names)
     print(f"Failure suite (seed {args.seed}):")

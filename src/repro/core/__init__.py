@@ -12,8 +12,17 @@ Components (mirroring §VIII of the paper):
 * :mod:`repro.core.agent`      — the node agent: node manager + one p2p
   (Serf) agent per dynamic attribute group (§VIII-B)
 * :mod:`repro.core.rest`       — application-side client (REST-equivalent)
+* :mod:`repro.core.cpumodel`   — busy-until CPU service-time model (Fig. 3)
+* :mod:`repro.core.admission`  — overload defenses: throttling, admission
+  queue, bulkheads, circuit breakers (all config-gated, off by default)
 """
 
+from repro.core.admission import (
+    AdmissionQueue,
+    CircuitBreaker,
+    OverloadConfig,
+    TokenBucket,
+)
 from repro.core.attributes import (
     AttributeKind,
     AttributeSchema,
@@ -21,6 +30,7 @@ from repro.core.attributes import (
     openstack_schema,
 )
 from repro.core.cache import QueryCache
+from repro.core.cpumodel import ServerCpuModel
 from repro.core.config import FocusConfig
 from repro.core.groups import GroupInfo, GroupTable
 from repro.core.naming import group_base, group_name, groups_covering, parse_group_name
@@ -30,19 +40,24 @@ from repro.core.service import FocusService
 from repro.core.agent import NodeAgent
 
 __all__ = [
+    "AdmissionQueue",
     "AttributeKind",
     "AttributeSchema",
     "AttributeSpec",
+    "CircuitBreaker",
     "FocusClient",
     "FocusConfig",
     "FocusService",
     "GroupInfo",
     "GroupTable",
     "NodeAgent",
+    "OverloadConfig",
     "Query",
     "QueryCache",
     "QueryResponse",
     "QueryTerm",
+    "ServerCpuModel",
+    "TokenBucket",
     "group_base",
     "group_name",
     "groups_covering",

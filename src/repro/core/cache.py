@@ -59,6 +59,16 @@ class QueryCache:
         self.hits += 1
         return entry
 
+    def lookup_stale(self, query: Query) -> Optional[CacheEntry]:
+        """The cached entry for ``query`` regardless of freshness.
+
+        Degraded-mode reads only (circuit-breaker fallback): when the owning
+        shard is unreachable, a stale answer stamped with its true age beats
+        a timeout. Does not count toward hits/misses and does not touch LRU
+        order — the default lookup paths are unchanged.
+        """
+        return self._entries.get(query.cache_key())
+
     def store(
         self, query: Query, matches: List[dict], now: float,
         *, staleness_ms: float = 0.0,

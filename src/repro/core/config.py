@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.admission import OverloadConfig
 from repro.core.attributes import AttributeSchema, openstack_schema
+from repro.errors import ConfigError
 from repro.gossip.agent import SerfConfig
 
 
@@ -88,11 +90,46 @@ class FocusConfig:
     replica_reads: bool = False
     #: How often the router re-materializes view results to region replicas.
     replica_refresh_interval: float = 5.0
-    #: Model each server's query processing as a serial queue (service time
-    #: = ``server_processing_delay``) instead of infinite concurrency. Off by
-    #: default so existing seeded runs keep their exact byte streams; the
-    #: shard scale-out bench turns it on to expose the saturation knee.
+    #: Model each server's query processing as a serial queue instead of
+    #: infinite concurrency. Off by default so existing seeded runs keep
+    #: their exact byte streams. On its own (``overload`` untouched) the
+    #: service time is the fixed ``server_processing_delay`` — the knob the
+    #: shard scale-out bench turns on to expose its saturation knee. It is
+    #: also the master switch for the overload subsystem: the CPU
+    #: service-time model and every admission-control defense in
+    #: ``overload`` require it (enforced by :meth:`validate`).
     server_queue_enabled: bool = False
+    #: CPU service-time model + overload defenses (throttling, admission
+    #: queue, bulkheads, circuit breaker). Everything defaults off; see
+    #: :class:`repro.core.admission.OverloadConfig`.
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
+
+    def validate(self) -> None:
+        """Fail fast on unknown/unused knob combinations.
+
+        Called by :func:`repro.core.shardplane.build_shard_plane` before any
+        process is built, so a config that silently does nothing (defenses
+        configured but the master switch off) is an error, not a no-op.
+        """
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_virtual_nodes < 1:
+            raise ConfigError(
+                f"shard_virtual_nodes must be >= 1, got {self.shard_virtual_nodes}"
+            )
+        self.overload.validate()
+        if self.overload.cpu_model_enabled and not self.server_queue_enabled:
+            raise ConfigError(
+                "overload.cpu_model_enabled requires server_queue_enabled=True "
+                "— the serial service queue is the master switch the CPU model "
+                "plugs into"
+            )
+        if self.overload.breaker_enabled and self.shards < 2:
+            raise ConfigError(
+                "overload.breaker_enabled requires shards >= 2 — the per-shard "
+                "circuit breaker lives in the scatter-gather ShardRouter, which "
+                "only exists for a sharded plane"
+            )
 
     def cutoff_for(self, attribute: str) -> float:
         spec = self.schema.get(attribute)

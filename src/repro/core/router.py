@@ -435,7 +435,15 @@ class QueryRouter:
         response occupies the CPU for the processing delay, so responses
         queue behind each other and an overloaded server's latency grows
         without bound — the saturation knee the shard sweep measures.
+
+        Under the overload CPU model the charge already happened at
+        admission (:meth:`FocusService._admit_query` occupied the query
+        lane before this handler ran), so the response leaves immediately
+        rather than paying a second fixed delay.
         """
+        if self.service.query_cpu is not None:
+            respond(payload)
+            return
         delay = self.service.config.server_processing_delay
         if self.service.config.server_queue_enabled:
             delay = self.service.enqueue_processing(delay)

@@ -23,8 +23,10 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.core.naming import group_base, group_name
 
+from repro.core.admission import AdmissionQueue, TokenBucket
 from repro.core.cache import QueryCache
 from repro.core.config import FocusConfig
+from repro.core.cpumodel import ServerCpuModel
 from repro.core.dgm import DynamicGroupsManager
 from repro.core.query import Query
 from repro.core.registrar import Registrar
@@ -136,10 +138,60 @@ class FocusService(Process, RpcMixin):
         #: Registrations are replicated to every shard, so exactly one shard
         #: persists them (the rest would duplicate every row N ways).
         self.persist_statics = persist_statics
-        #: Serial-queue tail for the modelled query processor (see
+        #: Serial queue for the modelled query processor (see
         #: :meth:`enqueue_processing`); only advances under
-        #: ``config.server_queue_enabled``.
-        self._busy_until = 0.0
+        #: ``config.server_queue_enabled``. Callers pass the service time
+        #: directly, so the lane's own per-request cost never applies.
+        self._legacy_queue = ServerCpuModel(1.0)
+        # ---- overload subsystem (all off by default; see core/admission.py)
+        overload = self.config.overload
+        #: CPU lane serving queries; with the bulkhead on it owns only
+        #: ``bulkhead_query_share`` of the cores, otherwise it is the whole
+        #: machine (and aliases :attr:`register_cpu`).
+        self.query_cpu: Optional[ServerCpuModel] = None
+        #: CPU lane serving registrations and reports.
+        self.register_cpu: Optional[ServerCpuModel] = None
+        self.admission: Optional[AdmissionQueue] = None
+        self.throttle: Optional[TokenBucket] = None
+        self.queries_throttled = 0
+        self.queries_shed = 0
+        self.registrations_shed = 0
+        self.reports_shed = 0
+        if overload.cpu_model_enabled:
+            if overload.bulkhead_enabled:
+                query_cores = overload.cores * overload.bulkhead_query_share
+                self.query_cpu = ServerCpuModel(
+                    query_cores,
+                    per_request_cpu=overload.per_query_cpu,
+                    max_backlog_seconds=overload.max_backlog_seconds,
+                )
+                self.register_cpu = ServerCpuModel(
+                    overload.cores - query_cores,
+                    per_request_cpu=overload.per_registration_cpu,
+                    max_backlog_seconds=overload.max_backlog_seconds,
+                )
+            else:
+                shared = ServerCpuModel(
+                    overload.cores,
+                    per_request_cpu=overload.per_query_cpu,
+                    max_backlog_seconds=overload.max_backlog_seconds,
+                )
+                self.query_cpu = shared
+                self.register_cpu = shared
+            if overload.queue_enabled:
+                self.admission = AdmissionQueue(
+                    sim,
+                    self.query_cpu,
+                    capacity=overload.queue_capacity,
+                    discipline=overload.queue_discipline,
+                    deadline=overload.queue_deadline,
+                )
+            if overload.throttle_enabled:
+                self.throttle = TokenBucket(
+                    overload.throttle_rate,
+                    overload.throttle_burst,
+                    per_client=overload.throttle_per_client,
+                )
         self.cache = QueryCache(self.config.cache_max_entries)
         self.store_client: Optional[StoreClient] = (
             store_cluster.client_for(self) if store_cluster is not None else None
@@ -186,7 +238,13 @@ class FocusService(Process, RpcMixin):
         groups (see :meth:`recover_from_store`).
         """
         super().restart()
-        self._busy_until = 0.0
+        self._legacy_queue.reset()
+        if self.query_cpu is not None:
+            self.query_cpu.reset()
+        if self.register_cpu is not None:
+            self.register_cpu.reset()
+        if self.admission is not None:
+            self.admission.reset()
         if self.store_client is not None:
             self.recover_from_store()
 
@@ -216,20 +274,88 @@ class FocusService(Process, RpcMixin):
     def enqueue_processing(self, service_time: float) -> float:
         """Modelled serial query processor: returns the delay until this
         response leaves the server, advancing the shared busy pointer."""
-        now = self.sim.now
-        start = max(now, self._busy_until)
-        self._busy_until = start + service_time
-        return self._busy_until - now
+        return self._legacy_queue.occupy(self.sim.now, service_time)
+
+    # --------------------------------------------------------- overload entry
+    def _overload_payload(self, source: str) -> dict:
+        """Rejection reply: shaped like a query answer so clients degrade
+        gracefully (empty matches + an error tag) instead of timing out."""
+        return {
+            "matches": [],
+            "source": source,
+            "timed_out": False,
+            "groups_queried": 0,
+            "staleness_ms": 0.0,
+            "error": source,
+        }
+
+    def _admit_query(self, params, respond, message):
+        """Admission pipeline in front of the query path (CPU model on).
+
+        Order matters: the throttle rejects at the door (costs nothing),
+        then the admission queue levels what got through onto the query CPU
+        lane; without the queue, arrivals stack up on the lane's busy-until
+        pointer directly — the undefended Fig. 3 collapse (optionally capped
+        by ``max_backlog_seconds`` shedding). The lane charge covers the
+        whole query (parse, lookups, fan-out bookkeeping, encoding); the
+        router's fixed processing delay is skipped so CPU is charged once.
+        """
+        overload = self.config.overload
+        if self.throttle is not None and not self.throttle.allow(
+            self.sim.now, message.src
+        ):
+            self.queries_throttled += 1
+            return self._overload_payload("throttled")
+        service_time = self.query_cpu.service_time(overload.per_query_cpu)
+
+        def run(_sojourn: float = 0.0) -> None:
+            try:
+                result = self.router.handle(params, respond)
+            except FocusError as exc:
+                result = {"error": str(exc), "matches": [], "source": "error"}
+            if result is not DEFERRED:
+                respond(result)
+
+        if self.admission is not None:
+            def shed(reason: str) -> None:
+                self.queries_shed += 1
+                respond(self._overload_payload(f"shed-{reason}"))
+
+            self.admission.submit(service_time, run, shed)
+            return DEFERRED
+        delay = self.query_cpu.try_occupy(self.sim.now, service_time)
+        if delay is None:
+            self.queries_shed += 1
+            return self._overload_payload("shed-backlog")
+        self.sim.schedule(delay, run)
+        return DEFERRED
 
     # ------------------------------------------------------------ southbound
     def _rpc_register(self, params, respond, message):
+        if self.register_cpu is not None:
+            overload = self.config.overload
+            delay = self.register_cpu.admit(
+                self.sim.now, overload.per_registration_cpu
+            )
+            if delay is None:
+                # Shed: no reply, the agent's retry machinery takes over.
+                self.registrations_shed += 1
+                return DEFERRED
+            self.sim.schedule(delay, self._finish_register, params, respond)
+            return DEFERRED
+        return self._finish_register(params, None)
+
+    def _finish_register(self, params, respond):
         try:
             result = self.registrar.register(params)
         except FocusError as exc:
-            return {"error": str(exc)}
-        self.resources.charge_registration()
-        result["views"] = self.views.definitions_for_registration()
-        return result
+            result = {"error": str(exc)}
+        else:
+            self.resources.charge_registration()
+            result["views"] = self.views.definitions_for_registration()
+        if respond is None:
+            return result
+        respond(result)
 
     def _rpc_deregister(self, params, respond, message):
         self.registrar.deregister(str(params["node_id"]))
@@ -262,10 +388,27 @@ class FocusService(Process, RpcMixin):
         return {"ok": True}
 
     def _rpc_report(self, params, respond, message):
+        if self.register_cpu is not None:
+            delay = self.register_cpu.admit(
+                self.sim.now, self.config.overload.per_report_cpu
+            )
+            if delay is None:
+                # Shed: the representative re-reports next interval anyway.
+                self.reports_shed += 1
+                return DEFERRED
+            self.sim.schedule(delay, self._finish_report, params, respond)
+            return DEFERRED
+        return self._finish_report(params, None)
+
+    def _finish_report(self, params, respond):
         self.resources.charge_report()
         if is_view_group(str(params.get("group", ""))):
-            return self.views.handle_report(params)
-        return self.dgm.handle_report(params)
+            result = self.views.handle_report(params)
+        else:
+            result = self.dgm.handle_report(params)
+        if respond is None:
+            return result
+        respond(result)
 
     def _rpc_create_view(self, params, respond, message):
         try:
@@ -288,6 +431,8 @@ class FocusService(Process, RpcMixin):
 
     # ------------------------------------------------------------ northbound
     def _rpc_query(self, params, respond, message):
+        if self.query_cpu is not None:
+            return self._admit_query(params, respond, message)
         try:
             return self.router.handle(params, respond)
         except FocusError as exc:

@@ -36,8 +36,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.admission import CircuitBreaker
 from repro.core.cache import QueryCache
 from repro.core.config import FocusConfig
+from repro.core.cpumodel import ServerCpuModel
 from repro.core.naming import group_name, groups_covering
 from repro.core.query import Query
 from repro.core.service import FocusService, ResourceModelConfig
@@ -135,6 +137,29 @@ class ShardRouter(Process, RpcMixin):
         self._view_counter = 0
         #: Region read replicas fed by the materialization loop.
         self.replicas: List["RegionReadReplica"] = []
+        #: Per-shard circuit breakers on the query path (None unless
+        #: ``config.overload.breaker_enabled``). A breaker that opens takes
+        #: its shard out of the scatter set; matching queries degrade to
+        #: stale cache reads (stamped with their true ``staleness_ms``)
+        #: instead of queueing onto a drowning shard. Cooldown jitter draws
+        #: from a derived RNG stream so runs stay seed-reproducible.
+        self.breakers: Optional[Dict[str, CircuitBreaker]] = None
+        overload = config.overload
+        if overload.breaker_enabled:
+            rng = sim.derive_rng(f"breaker/{address}")
+            self.breakers = {
+                shard: CircuitBreaker(
+                    failure_threshold=overload.breaker_failure_threshold,
+                    min_volume=overload.breaker_min_volume,
+                    latency_threshold=overload.breaker_latency_threshold,
+                    window=overload.breaker_window,
+                    cooldown=overload.breaker_cooldown,
+                    half_open_probes=overload.breaker_half_open_probes,
+                    cooldown_jitter=overload.breaker_cooldown_jitter,
+                    rng=rng,
+                )
+                for shard in self.shard_addresses
+            }
 
         self.serve("focus.register", self._rpc_register)
         self.serve("focus.deregister", self._rpc_deregister)
@@ -421,30 +446,100 @@ class ShardRouter(Process, RpcMixin):
         owners = [a for a in self.shard_addresses if a in owner_set]
         return best_attribute, owners
 
+    # --------------------------------------------------------- circuit breaker
+    def _breaker_blocks(self, owners: List[str]) -> bool:
+        """Whether any targeted shard's breaker refuses this query.
+
+        Checked with :meth:`~repro.core.admission.CircuitBreaker.peek` so a
+        plan that ends up degraded never consumes half-open probe slots on
+        the shards that would have allowed it.
+        """
+        if self.breakers is None:
+            return False
+        now = self.sim.now
+        return any(not self.breakers[owner].peek(now) for owner in owners)
+
+    def _breaker_record(self, shard: str, sent_at: float, result) -> None:
+        """Feed one shard outcome to its breaker (latency counts)."""
+        if self.breakers is None:
+            return
+        breaker = self.breakers.get(shard)
+        if breaker is None:
+            return
+        now = self.sim.now
+        if result is None or result.get("error") or result.get("timed_out"):
+            breaker.record_failure(now)
+        else:
+            breaker.record_success(now, now - sent_at)
+
+    def _respond_degraded(self, query: Query, respond) -> None:
+        """Breaker-open fallback: a stale cached answer beats a timeout.
+
+        Freshness bounds are knowingly violated — that is the graceful-
+        degradation contract — but never silently: the answer's true age is
+        stamped in ``staleness_ms`` and the source says ``breaker-stale``.
+        With nothing cached the client gets an immediate ``breaker-open``
+        error instead of waiting out a doomed timeout.
+        """
+        self.metrics.counter("breaker_degraded").inc()
+        entry = self.cache.lookup_stale(query) if self.config.cache_enabled else None
+        if entry is not None:
+            matches = entry.matches
+            if query.limit is not None:
+                matches = matches[: query.limit]
+            age_ms = (self.sim.now - entry.fetched_at) * 1000.0
+            respond(self._payload(matches, "breaker-stale", staleness_ms=age_ms))
+            return
+        payload = self._payload([], "breaker-open")
+        payload["error"] = "breaker-open"
+        respond(payload)
+
     def _forward_query(self, shard: str, params, query: Query, respond) -> None:
         """Single-shard query path; the reply is re-cached at the router."""
+        if self._breaker_blocks([shard]):
+            self._respond_degraded(query, respond)
+            return
+        if self.breakers is not None:
+            self.breakers[shard].allow(self.sim.now)
+        sent_at = self.sim.now
 
         def on_reply(result) -> None:
+            self._breaker_record(shard, sent_at, result)
             self._absorb_and_respond(query, [result], respond)
+
+        def on_timeout() -> None:
+            self._breaker_record(shard, sent_at, None)
+            respond(self._payload([], "shard-timeout", timed_out=True))
 
         self.call(
             shard,
             "focus.query",
             params,
             on_reply=on_reply,
-            on_timeout=lambda: respond(
-                self._payload([], "shard-timeout", timed_out=True)
-            ),
+            on_timeout=on_timeout,
             timeout=self._shard_timeout(),
         )
 
     def _scatter_gather(self, params, query, attribute, owners, respond) -> None:
-        """Fan a query out to the owning shards and merge partial results."""
+        """Fan a query out to the owning shards and merge partial results.
+
+        With breakers on, a plan touching any open shard degrades whole
+        (stale cache or breaker-open) rather than returning a silently
+        partial merge missing the hot shard's matches.
+        """
+        if self._breaker_blocks(owners):
+            self._respond_degraded(query, respond)
+            return
+        if self.breakers is not None:
+            now = self.sim.now
+            for owner in owners:
+                self.breakers[owner].allow(now)
         self.metrics.counter("scatter_queries").inc()
         sub = dict(params)
         sub["routed_attribute"] = attribute
         partials: Dict[str, Optional[dict]] = {}
         state = {"pending": len(owners)}
+        sent_at = self.sim.now
 
         def advance() -> None:
             state["pending"] -= 1
@@ -458,6 +553,11 @@ class ShardRouter(Process, RpcMixin):
         for owner in owners:
             def on_reply(result, owner=owner) -> None:
                 partials[owner] = result
+                self._breaker_record(owner, sent_at, result)
+                advance()
+
+            def on_timeout(owner=owner) -> None:
+                self._breaker_record(owner, sent_at, None)
                 advance()
 
             self.call(
@@ -465,7 +565,7 @@ class ShardRouter(Process, RpcMixin):
                 "focus.query",
                 sub,
                 on_reply=on_reply,
-                on_timeout=advance,
+                on_timeout=on_timeout,
                 timeout=self._shard_timeout(),
             )
 
@@ -595,6 +695,18 @@ class RegionReadReplica(Process, RpcMixin):
         self.config = config
         self.cache = QueryCache(config.cache_max_entries)
         self.metrics = MetricsRegistry()
+        #: Region-local CPU lane: serving a bounded-staleness read is cheap
+        #: but not free, so a hot region's replica can itself saturate.
+        #: Misses are charged where the work happens (router/shard side).
+        overload = config.overload
+        self.cpu: Optional[ServerCpuModel] = None
+        if overload.cpu_model_enabled:
+            self.cpu = ServerCpuModel(
+                overload.cores,
+                per_request_cpu=overload.per_replica_query_cpu,
+                max_backlog_seconds=overload.max_backlog_seconds,
+            )
+        self.reads_shed = 0
         self.serve("focus.query", self._rpc_query)
         self.serve("replica.view-update", self._rpc_view_update)
 
@@ -607,13 +719,26 @@ class RegionReadReplica(Process, RpcMixin):
             if query.limit is not None:
                 matches = matches[: query.limit]
             age_ms = (self.sim.now - entry.fetched_at) * 1000.0
-            return {
+            payload = {
                 "matches": matches,
                 "source": "replica",
                 "timed_out": False,
                 "groups_queried": 0,
                 "staleness_ms": age_ms,
             }
+            if self.cpu is None:
+                return payload
+            delay = self.cpu.admit(self.sim.now)
+            if delay is None:
+                self.reads_shed += 1
+                payload = {
+                    "matches": [], "source": "shed-backlog", "timed_out": False,
+                    "groups_queried": 0, "staleness_ms": 0.0,
+                    "error": "shed-backlog",
+                }
+                return payload
+            self.sim.schedule(delay, respond, payload)
+            return DEFERRED
         self.metrics.counter("replica_misses").inc()
 
         def on_reply(result) -> None:
@@ -718,7 +843,13 @@ def build_shard_plane(
     ``shards=1`` without ``replica_reads`` returns the legacy single
     server under the public address — no router, no extra processes, no
     extra RNG streams: byte-identical to the pre-sharding deployment.
+
+    The config is validated first (:meth:`FocusConfig.validate`): knob
+    combinations that would silently do nothing — overload defenses with
+    the master ``server_queue_enabled`` switch off, a breaker on an
+    unsharded plane — fail fast here instead of lying quietly.
     """
+    config.validate()
     if config.shards <= 1 and not config.replica_reads:
         service = FocusService(
             sim,

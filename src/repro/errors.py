@@ -51,3 +51,7 @@ class QueryTimeout(FocusError):
 
 class GroupError(FocusError):
     """Group-management failure (unknown group, invalid cutoff)."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration combination (fail fast)."""

@@ -25,6 +25,7 @@ import hashlib
 import json
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.admission import CircuitBreaker, OverloadConfig
 from repro.core.config import FocusConfig
 from repro.core.query import Query, QueryTerm
 from repro.faults import (
@@ -37,6 +38,13 @@ from repro.faults import (
 from repro.harness.runner import drain
 from repro.harness.scenarios import FocusScenario, build_focus_cluster
 from repro.workloads.churn import ChurnController
+from repro.workloads.querygen import (
+    LoadPhase,
+    OpenLoopLoad,
+    QueryWorkload,
+    flash_crowd_phases,
+    thundering_herd_offsets,
+)
 
 #: Probe cadence; 1 Hz gives ±0.5 s resolution on latency numbers.
 PROBE_INTERVAL = 1.0
@@ -146,9 +154,13 @@ class ResilienceProbe:
 
 
 def _build(
-    seed: int, num_nodes: int, shards: int = 1
+    seed: int,
+    num_nodes: int,
+    shards: int = 1,
+    config: Optional[FocusConfig] = None,
 ) -> Tuple[FocusScenario, ChaosEngine]:
-    config = FocusConfig(shards=shards) if shards > 1 else None
+    if config is None:
+        config = FocusConfig(shards=shards) if shards > 1 else None
     scenario = build_focus_cluster(
         num_nodes,
         seed=seed,
@@ -347,12 +359,330 @@ def run_shard_failover(seed: int = 0, num_nodes: int = 24) -> Dict[str, object]:
     return report
 
 
+# --------------------------------------------------------------- overload
+# The three overload scenarios drive the CPU service-time model
+# (core/cpumodel.py) and the admission defenses (core/admission.py): a
+# flash-crowd query storm, a thundering-herd re-registration burst after a
+# partition heal, and hot-key attribute skew that saturates one shard.
+# Each report carries an ``asserts`` dict of named booleans — the contract
+# the tests (and CI's overload-smoke step) hold.
+
+
+def _percentile(values: List[float], pct: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _LoadDriver:
+    """Issues an open-loop query schedule through the app client."""
+
+    def __init__(self, scenario: FocusScenario, workload: QueryWorkload) -> None:
+        self.scenario = scenario
+        self.workload = workload
+        #: ``(issued_at, elapsed, ok, source, staleness_ms)`` per completion.
+        self.outcomes: List[Tuple[float, float, bool, str, float]] = []
+
+    def schedule(self, start: float, load: OpenLoopLoad) -> None:
+        for offset in load.arrival_times():
+            self.scenario.sim.schedule_at(start + offset, self._issue)
+
+    def _issue(self) -> None:
+        issued_at = self.scenario.sim.now
+
+        def record(response) -> None:
+            ok = not response.timed_out and response.error is None
+            self.outcomes.append((
+                issued_at,
+                self.scenario.sim.now - issued_at,
+                ok,
+                str(response.source),
+                float(response.staleness_ms),
+            ))
+
+        self.scenario.app.client.query(
+            self.workload.next_query(), record, timeout=10.0
+        )
+
+    # ------------------------------------------------------------- analysis
+    def stats(self, start: float = 0.0, end: float = float("inf")) -> Dict[str, object]:
+        window = [o for o in self.outcomes if start <= o[0] < end]
+        ok_latencies = [elapsed for _, elapsed, ok, _, _ in window if ok]
+        sources: Dict[str, int] = {}
+        for _, _, _, source, _ in window:
+            sources[source] = sources.get(source, 0) + 1
+        return {
+            "completed": len(window),
+            "served_ok": len(ok_latencies),
+            "goodput_fraction": (
+                round(len(ok_latencies) / len(window), 4) if window else 0.0
+            ),
+            "p50_s": round(_percentile(ok_latencies, 50.0), 4),
+            "p99_s": round(_percentile(ok_latencies, 99.0), 4),
+            "max_s": round(max(ok_latencies), 4) if ok_latencies else 0.0,
+            "sources": dict(sorted(sources.items())),
+        }
+
+
+def _storm_config(*, shards: int = 2, breaker: bool = True) -> FocusConfig:
+    """A deliberately small serving plane so modest load crosses the knee.
+
+    One core per shard at 20 ms of query CPU gives each shard a capacity
+    near 37 q/s on the query bulkhead — a flash crowd in the low hundreds
+    of q/s is deep past saturation, yet cheap to simulate.
+    """
+    overload = OverloadConfig(
+        cpu_model_enabled=True,
+        cores=1.0,
+        per_query_cpu=0.02,
+        per_registration_cpu=0.004,
+        per_report_cpu=0.002,
+        throttle_enabled=True,
+        throttle_rate=80.0,
+        throttle_burst=40.0,
+        queue_enabled=True,
+        queue_capacity=64,
+        queue_discipline="fifo",
+        queue_deadline=2.0,
+        bulkhead_enabled=True,
+        bulkhead_query_share=0.75,
+        breaker_enabled=breaker,
+        breaker_failure_threshold=0.5,
+        breaker_min_volume=8,
+        breaker_latency_threshold=2.5,
+        breaker_window=32,
+        breaker_cooldown=4.0,
+        breaker_half_open_probes=2,
+    )
+    return FocusConfig(
+        shards=shards, server_queue_enabled=True, overload=overload,
+        query_timeout=6.0,
+    )
+
+
+def _breaker_states(scenario: FocusScenario) -> Dict[str, object]:
+    router = scenario.plane.router if scenario.plane is not None else None
+    if router is None or router.breakers is None:
+        return {"states": {}, "opened": {}, "all_closed": True, "any_opened": False}
+    states = {shard: b.state for shard, b in sorted(router.breakers.items())}
+    opened = {shard: b.opened_count for shard, b in sorted(router.breakers.items())}
+    return {
+        "states": states,
+        "opened": opened,
+        "all_closed": all(s == CircuitBreaker.CLOSED for s in states.values()),
+        "any_opened": any(count > 0 for count in opened.values()),
+    }
+
+
+def run_query_storm(seed: int = 0, num_nodes: int = 24) -> Dict[str, object]:
+    """Flash-crowd query storm against a defended two-shard plane.
+
+    Offered load ramps ~8 → 130 q/s against ~75 q/s of query-bulkhead
+    capacity. The throttle sheds the excess at the door, the admission
+    queue levels the rest, and the contract is: answered queries keep a
+    bounded p99 (no Fig. 3 latency blow-up) and every breaker is closed
+    again once the storm decays.
+    """
+    scenario, engine = _build(seed, num_nodes, config=_storm_config())
+    t0 = scenario.sim.now
+    driver = _LoadDriver(scenario, QueryWorkload(seed=seed + 1))
+    phases = flash_crowd_phases(
+        baseline_qps=8.0, peak_qps=130.0,
+        baseline_s=8.0, ramp_s=8.0, hold_s=16.0, decay_s=12.0,
+    )
+    load = OpenLoopLoad(phases, seed=seed)
+    peak_start, peak_end = t0 + 1.0 + 16.0, t0 + 1.0 + 32.0
+    driver.schedule(t0 + 1.0, load)
+    probe = ResilienceProbe(scenario)
+    probe.schedule(t0 + 1.0, t0 + 38.0)
+    scenario.sim.run_until(t0 + 1.0 + load.total_duration + 12.0)
+
+    storm = driver.stats()
+    peak = driver.stats(peak_start, peak_end)
+    breakers = _breaker_states(scenario)
+    shed = sum(s.queries_shed for s in scenario.services)
+    throttled = sum(s.queries_throttled for s in scenario.services)
+    report = _finish(
+        "query-storm", seed, scenario, engine, probe,
+        fault_time=peak_start, heal_time=peak_end, detection=None,
+    )
+    report["offered"] = load.offered
+    report["storm"] = storm
+    report["peak"] = peak
+    report["queries_shed"] = shed
+    report["queries_throttled"] = throttled
+    report["breakers"] = breakers
+    report["asserts"] = {
+        # The defended plane never lets answered-query latency blow up.
+        "p99_bounded": storm["p99_s"] <= 4.0,
+        # Meaningful goodput survives the storm (throttle/shed refusals are
+        # fast, explicit refusals — not timeouts).
+        "goodput_kept": storm["served_ok"] >= 0.4 * load.offered,
+        # Whatever the storm did to the breakers, they re-closed after it.
+        "breaker_reclosed": breakers["all_closed"],
+    }
+    return report
+
+
+def run_herd_reregistration(seed: int = 0, num_nodes: int = 36) -> Dict[str, object]:
+    """Thundering-herd re-registration after a partition heal, bulkheaded.
+
+    A region pair partitions for 8 s; at heal every agent re-registers
+    within a 0.5 s window (~70 reg/s against ~60 reg/s of registration-lane
+    capacity) while a steady 15 q/s query stream runs. The bulkhead contract:
+    the registration path starves zero requests (every herd registration is
+    served, none shed) and the query path's p99 stays bounded through the
+    herd — neither lane can drown the other.
+    """
+    config = _storm_config(shards=1, breaker=False)
+    scenario, engine = _build(seed, num_nodes, config=config)
+    t0 = scenario.sim.now
+    regions = [r.name for r in scenario.network.topology.regions]
+    fault_at, heal_after = t0 + 5.0, 8.0
+    heal_time = fault_at + heal_after
+    engine.execute(
+        FaultPlan().add(
+            PartitionRegions(
+                at=fault_at,
+                side_a=(regions[0],),
+                side_b=(regions[1],),
+                heal_after=heal_after,
+            )
+        )
+    )
+    service = scenario.services[0]
+    served_before = {"registrations": 0}
+
+    def snapshot_lane() -> None:
+        served_before["registrations"] = service.register_cpu.requests_served
+
+    scenario.sim.schedule_at(heal_time, snapshot_lane)
+    offsets = thundering_herd_offsets(num_nodes, 0.5, seed=seed)
+    for agent, offset in zip(scenario.agents, offsets):
+        scenario.sim.schedule_at(heal_time + offset, agent.register)
+
+    driver = _LoadDriver(scenario, QueryWorkload(seed=seed + 1))
+    load = OpenLoopLoad([LoadPhase(34.0, 15.0)], seed=seed)
+    driver.schedule(t0 + 1.0, load)
+    probe = ResilienceProbe(scenario)
+    probe.schedule(t0 + 1.0, t0 + 38.0)
+    scenario.sim.run_until(t0 + 45.0)
+
+    herd_served = service.register_cpu.requests_served - served_before["registrations"]
+    herd_window = driver.stats(heal_time, heal_time + 5.0)
+    steady = driver.stats()
+    registered = sum(1 for agent in scenario.agents if agent.registered)
+    report = _finish(
+        "herd-reregistration", seed, scenario, engine, probe,
+        fault_time=fault_at, heal_time=heal_time, detection=None,
+    )
+    report["herd_size"] = num_nodes
+    report["herd_registrations_served"] = herd_served
+    report["registrations_shed"] = service.registrations_shed
+    report["reports_shed"] = service.reports_shed
+    report["herd_window_queries"] = herd_window
+    report["steady_queries"] = steady
+    report["agents_registered"] = registered
+    report["asserts"] = {
+        # Zero starved registration path: every herd re-registration (and
+        # the reports sharing its lane) was served, none shed.
+        "zero_starved_registrations": (
+            herd_served >= num_nodes and service.registrations_shed == 0
+        ),
+        "all_agents_registered": registered == num_nodes,
+        # The query bulkhead held: p99 through the herd stays bounded.
+        "query_p99_bounded": herd_window["p99_s"] <= 4.0,
+    }
+    return report
+
+
+def run_hot_key_overload(seed: int = 0, num_nodes: int = 24) -> Dict[str, object]:
+    """Hot-key skew saturates one shard; its breaker opens, degrades, re-closes.
+
+    90% of queries replay two hot placement keys whose families live on one
+    (occasionally two) of four shards. 60 q/s of skewed load against ~37 q/s
+    of per-shard capacity drives the owner's admission queue into deadline
+    shedding; the router's breaker for that shard trips on the failure rate,
+    matching queries degrade to stale cached answers stamped with their true
+    ``staleness_ms``, and once the skew subsides the half-open probes
+    re-close the breaker.
+    """
+    overload = OverloadConfig(
+        cpu_model_enabled=True,
+        cores=1.0,
+        per_query_cpu=0.02,
+        per_registration_cpu=0.004,
+        per_report_cpu=0.002,
+        queue_enabled=True,
+        queue_capacity=32,
+        queue_discipline="lifo",
+        queue_deadline=1.5,
+        bulkhead_enabled=True,
+        bulkhead_query_share=0.75,
+        breaker_enabled=True,
+        breaker_failure_threshold=0.5,
+        breaker_min_volume=8,
+        breaker_latency_threshold=2.5,
+        breaker_window=32,
+        breaker_cooldown=4.0,
+        breaker_half_open_probes=2,
+    )
+    config = FocusConfig(
+        shards=4, server_queue_enabled=True, overload=overload, query_timeout=6.0,
+    )
+    scenario, engine = _build(seed, num_nodes, config=config)
+    t0 = scenario.sim.now
+    workload = QueryWorkload(seed=seed + 1, hot_key_fraction=0.9, hot_set_size=2)
+    driver = _LoadDriver(scenario, workload)
+    phases = [LoadPhase(6.0, 5.0), LoadPhase(20.0, 60.0), LoadPhase(14.0, 5.0)]
+    load = OpenLoopLoad(phases, seed=seed)
+    skew_start, skew_end = t0 + 1.0 + 6.0, t0 + 1.0 + 26.0
+    driver.schedule(t0 + 1.0, load)
+    probe = ResilienceProbe(scenario)
+    probe.schedule(t0 + 1.0, t0 + 38.0)
+    scenario.sim.run_until(t0 + 1.0 + load.total_duration + 10.0)
+
+    stats = driver.stats()
+    breakers = _breaker_states(scenario)
+    stale_served = sum(
+        1 for _, _, _, source, _ in driver.outcomes if source == "breaker-stale"
+    )
+    stale_stamped = all(
+        staleness > 0.0
+        for _, _, _, source, staleness in driver.outcomes
+        if source == "breaker-stale"
+    )
+    report = _finish(
+        "hot-key-overload", seed, scenario, engine, probe,
+        fault_time=skew_start, heal_time=skew_end, detection=None,
+    )
+    report["offered"] = load.offered
+    report["load"] = stats
+    report["stale_served"] = stale_served
+    report["breakers"] = breakers
+    report["asserts"] = {
+        # The hot shard's breaker actually tripped under the skew...
+        "breaker_opened": breakers["any_opened"],
+        # ...degraded matching queries to stale answers with honest stamps...
+        "stale_fallback_served": stale_served > 0 and stale_stamped,
+        # ...and re-closed once the skew subsided (never wedged).
+        "breaker_reclosed": breakers["all_closed"],
+        "p99_bounded": stats["p99_s"] <= 4.0,
+    }
+    return report
+
+
 SCENARIOS = {
     "single-node-crash": run_single_node_crash,
     "region-partition": run_region_partition,
     "churn-storm": run_churn_storm,
     "focus-server-failover": run_server_failover,
     "shard-failover": run_shard_failover,
+    "query-storm": run_query_storm,
+    "herd-reregistration": run_herd_reregistration,
+    "hot-key-overload": run_hot_key_overload,
 }
 
 

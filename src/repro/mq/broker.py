@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.cpumodel import ServerCpuModel
 from repro.errors import BrokerError
 from repro.sim.loop import Simulator
 from repro.sim.network import Message, Network
@@ -82,9 +83,12 @@ class Broker(Process):
         self.queues: Dict[str, _QueueState] = {}
         self.exchanges: Dict[str, List[str]] = {}
         self.connections: set = set()
-        self._cpu_free_at = 0.0
-        self._busy_accum = 0.0
-        self._window_busy = 0.0
+        self.cpu = ServerCpuModel(
+            self.config.cores,
+            per_request_cpu=self.config.per_message_cpu,
+            per_connection_cpu=self.config.per_connection_cpu,
+            max_backlog_seconds=self.config.max_backlog_seconds,
+        )
         self.utilization_series: List[tuple] = []
         self.messages_routed = 0
         self.messages_dropped = 0
@@ -135,8 +139,7 @@ class Broker(Process):
         down to ~6k producers in Fig. 3 even though raw routing capacity
         would be higher.
         """
-        upkeep = len(self.connections) * self.config.per_connection_cpu
-        return max(0.1, self.config.cores - upkeep)
+        return self.cpu.effective_cores(len(self.connections))
 
     def _on_publish(self, message: Message) -> None:
         self.connections.add(message.src)
@@ -162,19 +165,14 @@ class Broker(Process):
         service = (
             self.config.per_message_cpu / self._message_cores()
         ) * max(1, len(targets))
-        start = max(now, self._cpu_free_at)
-        wait = start - now
-        if wait > self.config.max_backlog_seconds:
+        delay = self.cpu.try_occupy(now, service)
+        if delay is None:
             self.messages_dropped += 1
             return
-        self._cpu_free_at = start + service
-        self._busy_accum += service
-        self._window_busy += service
         self.messages_routed += 1
-        done = self._cpu_free_at
         for queue_name, consumer in targets:
             self.sim.schedule(
-                done - now,
+                delay,
                 self._deliver,
                 consumer,
                 queue_name,
@@ -196,18 +194,8 @@ class Broker(Process):
     # ------------------------------------------------------------ utilization
     def _sample_utilization(self) -> None:
         window = self.config.utilization_sample_interval
-        connection_fraction = min(
-            1.0,
-            len(self.connections) * self.config.per_connection_cpu / self.config.cores,
-        )
-        # _window_busy is busy-time of the message server; scale it by the
-        # share of the machine that server represents.
-        message_fraction = min(1.0, self._window_busy / window) * (
-            1.0 - connection_fraction
-        )
-        utilization = min(1.0, connection_fraction + message_fraction)
+        utilization = self.cpu.utilization(window, len(self.connections))
         self.utilization_series.append((self.sim.now, utilization))
-        self._window_busy = 0.0
 
     def utilization_over(self, start: float, end: float) -> float:
         samples = [u for t, u in self.utilization_series if start <= t <= end]
@@ -218,4 +206,4 @@ class Broker(Process):
     @property
     def backlog_seconds(self) -> float:
         """Current queueing delay a newly arrived message would see."""
-        return max(0.0, self._cpu_free_at - self.sim.now)
+        return self.cpu.backlog_seconds(self.sim.now)

@@ -196,3 +196,125 @@ class QueryWorkload:
     def __iter__(self) -> Iterator[Query]:
         while True:
             yield self.next_query()
+
+
+# --------------------------------------------------------------------- load
+# Open-loop load shapes for the overload benchmarks and failure scenarios.
+# Closed-loop clients (the shard sweep) self-throttle when the server slows
+# down, which hides the saturation knee; an open-loop arrival process keeps
+# offering load no matter how far behind the server falls — exactly the
+# regime where Fig. 3's latency blow-up appears.
+
+
+class LoadPhase:
+    """``qps`` offered for ``duration`` seconds."""
+
+    __slots__ = ("duration", "qps")
+
+    def __init__(self, duration: float, qps: float) -> None:
+        if duration <= 0:
+            raise ValueError(f"phase duration must be positive, got {duration}")
+        if qps < 0:
+            raise ValueError(f"phase qps must be >= 0, got {qps}")
+        self.duration = duration
+        self.qps = qps
+
+    def __repr__(self) -> str:
+        return f"LoadPhase(duration={self.duration}, qps={self.qps})"
+
+
+def flash_crowd_phases(
+    *,
+    baseline_qps: float,
+    peak_qps: float,
+    baseline_s: float = 10.0,
+    ramp_s: float = 10.0,
+    hold_s: float = 20.0,
+    decay_s: float = 10.0,
+    ramp_steps: int = 5,
+) -> List[LoadPhase]:
+    """A flash-crowd ramp: baseline → stepped ramp-up → peak hold → decay.
+
+    The ramp is a staircase (``ramp_steps`` equal steps) rather than a
+    continuous slope so the offered rate in every phase is exact and the
+    arrival schedule stays trivially deterministic.
+    """
+    phases = [LoadPhase(baseline_s, baseline_qps)]
+    if ramp_steps > 0 and ramp_s > 0:
+        for step in range(1, ramp_steps + 1):
+            qps = baseline_qps + (peak_qps - baseline_qps) * step / ramp_steps
+            phases.append(LoadPhase(ramp_s / ramp_steps, qps))
+    phases.append(LoadPhase(hold_s, peak_qps))
+    if decay_s > 0:
+        phases.append(LoadPhase(decay_s, baseline_qps))
+    return phases
+
+
+class OpenLoopLoad:
+    """Deterministic open-loop arrival schedule over a list of phases.
+
+    Arrivals within a phase are evenly spaced at ``1/qps`` with a small
+    seeded uniform jitter (±``jitter`` of the spacing), so two runs with the
+    same seed offer byte-identical schedules while avoiding the phase-locked
+    artifacts of perfectly periodic arrivals.
+    """
+
+    def __init__(
+        self,
+        phases: List[LoadPhase],
+        *,
+        seed: int = 0,
+        jitter: float = 0.25,
+    ) -> None:
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.phases = list(phases)
+        self._rng = random.Random(f"openloop/{seed}")
+        self.jitter = jitter
+
+    def arrival_times(self) -> List[float]:
+        """Absolute arrival times over the whole schedule, sorted."""
+        times: List[float] = []
+        phase_start = 0.0
+        for phase in self.phases:
+            if phase.qps > 0:
+                spacing = 1.0 / phase.qps
+                count = int(round(phase.duration * phase.qps))
+                for i in range(count):
+                    offset = (i + 0.5) * spacing
+                    if self.jitter > 0:
+                        offset += (self._rng.random() - 0.5) * spacing * self.jitter
+                    times.append(phase_start + min(max(offset, 0.0), phase.duration))
+            phase_start += phase.duration
+        times.sort()
+        return times
+
+    @property
+    def total_duration(self) -> float:
+        return sum(phase.duration for phase in self.phases)
+
+    @property
+    def offered(self) -> int:
+        """Total number of arrivals the schedule offers."""
+        return sum(
+            int(round(phase.duration * phase.qps))
+            for phase in self.phases
+            if phase.qps > 0
+        )
+
+
+def thundering_herd_offsets(
+    count: int,
+    window_s: float,
+    *,
+    seed: int = 0,
+) -> List[float]:
+    """Re-registration burst offsets after a partition heal.
+
+    When connectivity returns, every stranded agent re-registers at once —
+    spread only by client-side jitter. Returns ``count`` seeded uniform
+    offsets in ``[0, window_s)``, sorted, one per agent: the herd that the
+    registration bulkhead has to absorb without starving the query path.
+    """
+    rng = random.Random(f"herd/{seed}")
+    return sorted(rng.random() * window_s for _ in range(count))

@@ -85,3 +85,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "focus" in out
         assert "naive-push" in out
+
+    def test_chaos_list_tracks_registry(self, capsys):
+        from repro.harness.failure_suite import SCENARIOS
+
+        assert main(["chaos", "--scenario", "list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert listed == list(SCENARIOS)
+        assert "query-storm" in listed and "shard-failover" in listed
+
+    def test_chaos_rejects_unknown_scenario(self, capsys):
+        assert main(["chaos", "--scenario", "no-such-scenario"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-scenario" in err and "single-node-crash" in err

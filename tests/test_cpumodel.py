@@ -1,0 +1,128 @@
+"""ServerCpuModel: busy-until arithmetic, shedding, and broker equivalence."""
+
+import pytest
+
+from repro.core.cpumodel import MIN_EFFECTIVE_CORES, ServerCpuModel
+
+
+class TestServiceTime:
+    def test_default_cost_is_per_request_cpu(self):
+        model = ServerCpuModel(4.0, per_request_cpu=0.008)
+        assert model.service_time() == pytest.approx(0.002)
+
+    def test_explicit_cost_overrides_default(self):
+        model = ServerCpuModel(2.0, per_request_cpu=0.008)
+        assert model.service_time(0.01) == pytest.approx(0.005)
+
+    def test_connections_erode_effective_cores(self):
+        model = ServerCpuModel(4.0, per_request_cpu=0.004,
+                               per_connection_cpu=0.001)
+        assert model.effective_cores(0) == pytest.approx(4.0)
+        assert model.effective_cores(1000) == pytest.approx(3.0)
+        assert model.service_time(connections=1000) == pytest.approx(
+            0.004 / 3.0
+        )
+
+    def test_effective_cores_never_reach_zero(self):
+        model = ServerCpuModel(1.0, per_connection_cpu=1.0)
+        assert model.effective_cores(50) == MIN_EFFECTIVE_CORES
+
+
+class TestOccupy:
+    def test_idle_server_returns_service_time(self):
+        model = ServerCpuModel(1.0)
+        assert model.occupy(10.0, 0.5) == pytest.approx(0.5)
+        assert model.busy_until == pytest.approx(10.5)
+
+    def test_busy_server_queues_serially(self):
+        """The busy-until recurrence: each arrival waits out the backlog."""
+        model = ServerCpuModel(1.0)
+        assert model.occupy(0.0, 0.5) == pytest.approx(0.5)
+        assert model.occupy(0.0, 0.5) == pytest.approx(1.0)
+        assert model.occupy(0.25, 0.5) == pytest.approx(1.25)
+        assert model.backlog_seconds(0.25) == pytest.approx(1.25)
+
+    def test_matches_reference_recurrence(self):
+        """occupy() is byte-identical to the legacy inline arithmetic."""
+        model = ServerCpuModel(1.0)
+        busy_until = 0.0
+        arrivals = [(0.0, 0.3), (0.1, 0.05), (2.0, 0.2), (2.0, 0.4),
+                    (2.05, 0.001), (7.5, 1.0)]
+        for now, service in arrivals:
+            start = max(now, busy_until)
+            busy_until = start + service
+            expected = busy_until - now
+            assert model.occupy(now, service) == expected
+            assert model.busy_until == busy_until
+
+    def test_idle_gap_is_not_accumulated(self):
+        model = ServerCpuModel(1.0)
+        model.occupy(0.0, 0.5)
+        model.occupy(10.0, 0.5)  # 9.5 s idle in between
+        assert model.busy_accum == pytest.approx(1.0)
+        assert model.take_window_busy() == pytest.approx(1.0)
+        assert model.take_window_busy() == 0.0  # reset on read
+
+
+class TestTryOccupyAndAdmit:
+    def test_unbounded_backlog_never_sheds(self):
+        model = ServerCpuModel(1.0)
+        for _ in range(100):
+            assert model.try_occupy(0.0, 1.0) is not None
+        assert model.requests_shed == 0
+
+    def test_sheds_when_wait_exceeds_backlog_bound(self):
+        model = ServerCpuModel(1.0, max_backlog_seconds=1.0)
+        assert model.try_occupy(0.0, 0.8) == pytest.approx(0.8)
+        # Second arrival would wait 0.8 s <= 1.0 s: admitted.
+        assert model.try_occupy(0.0, 0.8) == pytest.approx(1.6)
+        # Third would wait 1.6 s > 1.0 s: shed, and the backlog is NOT
+        # charged — a shed request must not consume capacity.
+        before = model.busy_until
+        assert model.try_occupy(0.0, 0.8) is None
+        assert model.busy_until == before
+        assert model.requests_shed == 1
+        assert model.requests_served == 2
+
+    def test_admit_is_try_occupy_of_service_time(self):
+        a = ServerCpuModel(2.0, per_request_cpu=0.01, max_backlog_seconds=5.0)
+        b = ServerCpuModel(2.0, per_request_cpu=0.01, max_backlog_seconds=5.0)
+        for now in (0.0, 0.001, 0.002, 4.0):
+            assert a.admit(now) == b.try_occupy(now, b.service_time())
+
+    def test_reset_clears_backlog_and_window(self):
+        model = ServerCpuModel(1.0)
+        model.occupy(0.0, 3.0)
+        model.reset()
+        assert model.busy_until == 0.0
+        assert model.backlog_seconds(0.0) == 0.0
+        assert model.take_window_busy() == 0.0
+
+
+class TestUtilization:
+    def test_idle_model_reports_zero(self):
+        model = ServerCpuModel(4.0)
+        assert model.utilization(1.0, connections=0) == 0.0
+
+    def test_saturated_window_reports_full_share(self):
+        model = ServerCpuModel(1.0)
+        model.occupy(0.0, 1.0)
+        model.take_window_busy()  # consume, then refill a fresh window
+        model.occupy(1.0, 2.0)
+        assert model.utilization(2.0, connections=0) == pytest.approx(1.0)
+
+
+class TestBrokerEquivalence:
+    """The broker's CPU accounting now lives on ServerCpuModel; the pinned
+    kernel checksums prove byte-equality end-to-end, this proves it stays."""
+
+    def test_broker_cpu_is_a_server_cpu_model(self, sim, network, regions):
+        from repro.mq import Broker, BrokerConfig
+
+        broker = Broker(sim, network, "broker", regions[0])
+        assert isinstance(broker.cpu, ServerCpuModel)
+        config = BrokerConfig()
+        assert broker.cpu.cores == config.cores
+        assert broker.cpu.per_request_cpu == config.per_message_cpu
+        assert broker.cpu.per_connection_cpu == config.per_connection_cpu
+        assert broker.cpu.max_backlog_seconds == config.max_backlog_seconds

@@ -3,6 +3,9 @@
 from repro.harness.failure_suite import (
     SCENARIOS,
     report_checksum,
+    run_hot_key_overload,
+    run_herd_reregistration,
+    run_query_storm,
     run_server_failover,
     run_single_node_crash,
 )
@@ -58,4 +61,38 @@ class TestReportShape:
         assert set(SCENARIOS) == {
             "single-node-crash", "region-partition", "churn-storm",
             "focus-server-failover", "shard-failover",
+            "query-storm", "herd-reregistration", "hot-key-overload",
         }
+
+
+class TestOverloadScenarios:
+    """The three overload scenarios must hold their `asserts` contract —
+    the same booleans CI's chaos job re-checks from the resilience report."""
+
+    def test_query_storm_contract(self):
+        report = run_query_storm(seed=0)
+        assert all(report["asserts"].values()), report["asserts"]
+        # The storm actually crossed the knee: the defenses had to act.
+        assert report["queries_shed"] + report["queries_throttled"] > 0
+        # Any breaker that opened mid-storm re-closed by the end.
+        assert report["breakers"]["all_closed"]
+
+    def test_herd_reregistration_contract(self):
+        report = run_herd_reregistration(seed=0)
+        assert all(report["asserts"].values()), report["asserts"]
+        # Every herd member re-registered and none were shed: the bulkhead
+        # kept the registration lane alive under the query load.
+        assert report["registrations_shed"] == 0
+
+    def test_hot_key_overload_contract(self):
+        report = run_hot_key_overload(seed=0)
+        assert all(report["asserts"].values()), report["asserts"]
+        # The hot shard's breaker tripped and the router served stale
+        # cache answers stamped with a positive staleness bound.
+        assert report["breakers"]["any_opened"]
+        assert report["stale_served"] > 0
+
+    def test_query_storm_deterministic(self):
+        a = run_query_storm(seed=3, num_nodes=16)
+        b = run_query_storm(seed=3, num_nodes=16)
+        assert a == b

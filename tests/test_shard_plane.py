@@ -151,6 +151,21 @@ class TestSingleShardIsLegacy:
         assert digest == _seeded_run_digest(FocusConfig())  # stable
         assert digest == SHARDS1_RUN_DIGEST
 
+    def test_explicit_defenses_off_config_is_byte_identical(self):
+        """An OverloadConfig with every gate at its default must reproduce
+        the pinned digest exactly — the defense layer being wired in but
+        switched off cannot perturb a single float."""
+        from repro.core.admission import OverloadConfig
+
+        config = FocusConfig(overload=OverloadConfig(
+            cpu_model_enabled=False,
+            throttle_enabled=False,
+            queue_enabled=False,
+            bulkhead_enabled=False,
+            breaker_enabled=False,
+        ))
+        assert _seeded_run_digest(config) == SHARDS1_RUN_DIGEST
+
 
 class TestScatterGatherEquivalence:
     def test_sharded_answers_match_single_server(self):
