@@ -11,11 +11,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: check lint test scheduler-equivalence bench-gate bench-kernel \
+.PHONY: check lint test scheduler-equivalence global-state-gate \
+        parallel-equivalence bench-gate bench-kernel \
         bench-kernel-smoke bench chaos-smoke bench-shards bench-shards-smoke \
         bench-overload bench-overload-smoke
 
-check: lint test scheduler-equivalence bench-gate chaos-smoke
+check: lint test scheduler-equivalence global-state-gate bench-gate chaos-smoke
 
 # Gated on availability: ruff is a dev convenience, not a runtime
 # dependency, and the offline test image does not ship it. CI installs it.
@@ -30,6 +31,18 @@ lint:
 # validated in isolation (and so CI logs show the equivalence pass by name).
 scheduler-equivalence:
 	$(PYTHON) -m pytest tests/test_sim_scheduler.py -q
+
+# Cross-simulation isolation: two seeded sims in one process must checksum
+# identically in both run orders (no interpreter-global mutable state), and
+# run_until's inclusive-bound rule must hold on every scheduler backend.
+# Part of `test` too; named so the sweep is visible in CI logs.
+global-state-gate:
+	$(PYTHON) -m pytest tests/test_global_state.py \
+		tests/test_run_until_boundary.py -q
+
+# Serial <-> parallel byte-equivalence of the region-sharded kernel.
+parallel-equivalence:
+	$(PYTHON) -m pytest tests/test_parallel_kernel.py -q
 
 test:
 	$(PYTHON) -m pytest -x -q

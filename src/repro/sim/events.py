@@ -150,7 +150,12 @@ class HeapEventQueue:
         return None
 
     def pop_before(self, bound: float) -> Optional[Event]:
-        """Pop the next live event with ``time <= bound``, else ``None``."""
+        """Pop the next live event with ``time <= bound``, else ``None``.
+
+        The bound is **inclusive**: an event stamped exactly ``bound`` pops.
+        Every backend (heap, calendar, auto) implements the same rule — it is
+        the queue half of :meth:`Simulator.run_until`'s boundary contract.
+        """
         heap = self._heap
         while heap:
             if heap[0][0] > bound:
@@ -379,6 +384,10 @@ class EventQueue:
     def pop_before(self, bound: float) -> Optional[Event]:
         """Pop the next live event with ``time <= bound``, else ``None``.
 
+        The bound is **inclusive** (an event stamped exactly ``bound`` pops),
+        matching :class:`HeapEventQueue` — the two backends must agree or
+        ``scheduler="auto"``'s mid-run migration would move the boundary.
+
         One front-heap inspection plus at most one pop per live event, which
         lets :meth:`Simulator.run_until` avoid a separate peek-then-pop pair.
         """
@@ -558,6 +567,8 @@ class AutoEventQueue:
         return self._backend.pop()
 
     def pop_before(self, bound: float) -> Optional[Event]:
+        # Inclusive bound, delegated: both backends implement the same rule,
+        # so the auto migration never shifts which window an event lands in.
         return self._backend.pop_before(bound)
 
     def peek_time(self) -> Optional[float]:

@@ -96,6 +96,22 @@ class Simulator:
         :meth:`freeze_hot_state` and restored by :meth:`unfreeze_hot_state`.
         Defaults to :data:`V2_GC_THRESHOLDS` under profile v2 and to
         "leave the interpreter's thresholds alone" under v1.
+    workers:
+        Declared parallelism for drivers that support the region-sharded
+        kernel (:mod:`repro.sim.parallel`). ``1`` (default) is the serial
+        loop; ``N > 1`` asks a parallel-aware driver to partition the
+        topology's regions over ``N`` worker processes synchronized by
+        conservative time windows. The value is advisory — this object is
+        always a serial event loop; drivers that ignore it (every pre-existing
+        harness) behave exactly as before, which is what keeps ``workers=1``
+        byte-identical to the serial kernel.
+    strict_rng_labels:
+        When ``True``, :meth:`derive_rng` / :meth:`derive_np_rng` raise on a
+        duplicate label instead of silently handing out the *same* stream
+        twice (two components drawing from one sequence — the classic
+        determinism leak). Off by default because crash/restart scenarios
+        legitimately re-derive a restarted process's timer labels; collisions
+        are always recorded and queryable via :meth:`rng_label_collisions`.
     """
 
     def __init__(
@@ -108,9 +124,19 @@ class Simulator:
         wheel_span: Optional[int] = None,
         profile: str = "v1",
         gc_thresholds: Optional[Tuple[int, int, int]] = None,
+        workers: int = 1,
+        strict_rng_labels: bool = False,
     ) -> None:
         self.seed = seed
         self.rng = random.Random(seed)
+        if not isinstance(workers, int) or workers < 1:
+            raise SimulationError(
+                f"workers must be a positive int, got {workers!r}"
+            )
+        self.workers = workers
+        self.strict_rng_labels = strict_rng_labels
+        #: (method, label) -> times derived; >1 entries are collisions.
+        self._derived_labels: Dict[Tuple[str, str], int] = {}
         if profile not in PROFILES:
             raise SimulationError(
                 f"unknown determinism profile {profile!r} "
@@ -256,6 +282,19 @@ class Simulator:
 
         The clock is advanced to exactly ``time`` even if the queue drains
         early, so back-to-back ``run_until`` calls behave like a wall clock.
+
+        **Boundary rule** (load-bearing for the parallel kernel's window
+        barriers, identical across the heap, calendar and auto backends —
+        see ``tests/test_run_until_boundary.py``): the bound is *inclusive*.
+        An event stamped exactly ``time`` executes inside this call, in
+        ``(time, seq)`` order with everything else at that instant. An event
+        pushed *during* the call with a stamp equal to the bound (e.g. a
+        zero-delay post from a callback running at ``t == time``) also
+        executes in this call; only stamps strictly greater than ``time``
+        carry over. After the call returns, ``now == time``, and an event
+        then scheduled at exactly ``now`` (delay 0) runs in the *next* call
+        — so a window barrier at ``t`` may inject messages stamped ``t`` for
+        the following window without re-entering the closed one.
         """
         if time < self._now:
             raise SimulationError(
@@ -307,8 +346,35 @@ class Simulator:
         return executed
 
     # ------------------------------------------------------------------ rng
+    def _note_label(self, method: str, label: str) -> None:
+        """Record a stream derivation; duplicate = shared-stream hazard.
+
+        Keyed by (method, label) because deriving *both* a ``random.Random``
+        and a numpy Generator for one label is fine — they hash the same
+        string but the streams are algorithmically unrelated. Deriving the
+        same label twice through the same method hands two components the
+        same sequence, which silently couples their draws.
+        """
+        key = (method, label)
+        count = self._derived_labels.get(key, 0) + 1
+        self._derived_labels[key] = count
+        if count > 1 and self.strict_rng_labels:
+            raise SimulationError(
+                f"RNG label {label!r} derived {count} times via {method} "
+                f"on one simulator — two components would share one stream. "
+                f"Disambiguate the label (or drop strict_rng_labels if this "
+                f"is a deliberate crash-restart re-derivation)."
+            )
+
+    def rng_label_collisions(self) -> Dict[Tuple[str, str], int]:
+        """``(method, label) -> derivation count`` for labels derived more
+        than once. Empty in a well-labelled simulation; crash-restart
+        scenarios legitimately re-derive restarted processes' timer labels."""
+        return {k: n for k, n in self._derived_labels.items() if n > 1}
+
     def derive_rng(self, label: str) -> random.Random:
         """Create an independent RNG stream keyed by ``label`` and the seed."""
+        self._note_label("derive_rng", label)
         return random.Random(f"{self.seed}/{label}")
 
     def derive_np_rng(self, label: str):
@@ -322,6 +388,7 @@ class Simulator:
         """
         import numpy as np
 
+        self._note_label("derive_np_rng", label)
         digest = hashlib.sha256(f"{self.seed}/{label}".encode()).digest()
         return np.random.default_rng(int.from_bytes(digest[:16], "little"))
 

@@ -245,6 +245,29 @@ class MessageArena:
         self._free.append(slot)
 
 
+class _BlockUniform:
+    """Per-region batched uniform tap (``v2`` profile + ``region_rng``).
+
+    Same block discipline as :meth:`Network._next_uniform`, but each source
+    region owns its own generator and block, so one region's draw count never
+    shifts another region's sequence — the property the parallel kernel needs
+    to run regions in separate processes.
+    """
+
+    __slots__ = ("_np_rng", "_block")
+
+    def __init__(self, np_rng) -> None:
+        self._np_rng = np_rng
+        self._block: List[float] = []
+
+    def __call__(self) -> float:
+        block = self._block
+        if not block:
+            block[:] = self._np_rng.random(UNIFORM_BLOCK).tolist()
+            block.reverse()
+        return block.pop()
+
+
 class Endpoint(Protocol):
     """Anything that can be attached to the network."""
 
@@ -330,6 +353,18 @@ class Network:
         ``v2`` profile with delivery batching; forcing it ``True`` under v1
         is allowed (the A/B tests do) and does not change event order or the
         RNG stream — only object lifetimes.
+    region_rng:
+        When ``True``, loss/jitter and degraded-link draws come from
+        per-*source-region* streams (``network@<region>`` /
+        ``network/degrade@<region>``) instead of the single shared
+        ``network`` stream. This decouples the regions' RNG sequences, which
+        is the precondition for running each region's event loop in its own
+        process (:mod:`repro.sim.parallel`): with one shared stream, which
+        draw a message gets depends on the *global* interleaving of sends
+        across regions. Off by default — the pinned v1/v2 determinism
+        checksums consume the shared stream; runs with ``region_rng=True``
+        are equally deterministic but a *different* byte stream, so never
+        compare one against the other.
     """
 
     def __init__(
@@ -343,6 +378,7 @@ class Network:
         record_bandwidth_events: Optional[bool] = None,
         bandwidth_horizon: Optional[float] = None,
         message_arena: Optional[bool] = None,
+        region_rng: bool = False,
     ) -> None:
         if not 0.0 <= loss_rate <= 1.0:
             raise NetworkError(f"loss rate must be in [0, 1], got {loss_rate}")
@@ -389,6 +425,33 @@ class Network:
             self._np_rng = None
             self._uniform_block = []
             self._uniform = self._rng.random
+        # Per-source-region streams (see the ``region_rng`` parameter). The
+        # dicts are keyed by region name and built in topology order so the
+        # derivations themselves are deterministic.
+        self.region_rng = region_rng
+        if region_rng:
+            names = [r.name for r in self.topology.regions]
+            self._region_degrade: Optional[Dict[str, object]] = {
+                name: sim.derive_rng(f"network/degrade@{name}") for name in names
+            }
+            if self._profile == "v2":
+                self._region_uniform: Optional[Dict[str, Callable[[], float]]] = {
+                    name: _BlockUniform(sim.derive_np_rng(f"network@{name}"))
+                    for name in names
+                }
+            else:
+                self._region_uniform = {
+                    name: sim.derive_rng(f"network@{name}").random
+                    for name in names
+                }
+        else:
+            self._region_degrade = None
+            self._region_uniform = None
+        # Region-sharded (parallel-worker) mode: when ``_export`` is set,
+        # sends whose destination region is remote are handed to the exporter
+        # instead of being scheduled locally — see enable_region_sharding().
+        self._export: Optional[Callable[..., None]] = None
+        self._remote_regions: FrozenSet[str] = frozenset()
         self._delivery_taps: list[Callable[[Message], None]] = []
         #: Wire-size table: message kind -> fixed size or callable(payload).
         self._wire_sizes: Dict[str, object] = {}
@@ -612,6 +675,14 @@ class Network:
             dst_region = receiver.region
         else:
             dst_region = self._last_region.get(dst)
+        src_region = sender.region
+        region_uniform = self._region_uniform
+        if region_uniform is not None:
+            uniform = region_uniform[src_region]
+            degrade_rng = self._region_degrade[src_region]
+        else:
+            uniform = self._uniform
+            degrade_rng = self._degrade_rng
         if not (
             self._blocked
             or self._blocked_directed
@@ -626,11 +697,12 @@ class Network:
                 self._count_drop("unknown_destination")
                 return
         else:
-            drop_reason = self._drop_reason(src, dst, sender, dst_region)
+            drop_reason = self._drop_reason(
+                src, dst, sender, dst_region, uniform, degrade_rng
+            )
             if drop_reason is not None:
                 self._count_drop(drop_reason)
                 return
-        src_region = sender.region
         base = self.topology.latency(src_region, dst_region)
         if self._degraded:
             entry = self._degraded.get(frozenset((src, dst)))
@@ -638,13 +710,24 @@ class Network:
                 base *= entry[0]
         jitter_fraction = self.jitter_fraction
         if jitter_fraction > 0.0:
-            latency = base * (1.0 + self._uniform() * jitter_fraction)
+            latency = base * (1.0 + uniform() * jitter_fraction)
         else:
             latency = base
         if latency < 0.0:
             # Degenerate topologies (negative configured latency) must never
             # schedule a delivery in the simulated past.
             latency = 0.0
+        export = self._export
+        if export is not None and dst_region in self._remote_regions:
+            # Region-sharded mode: the destination lives in another worker.
+            # All accounting and RNG draws above already happened (identical
+            # to a local send); the delivery key's seq comes from the local
+            # counter exactly as the batched path would allocate it, and the
+            # coordinator merges it into the destination worker at the next
+            # window barrier.
+            export(src_region, dst_region, now + latency, self._alloc_seq(),
+                   kind, payload, src, dst, wire_size, now)
+            return
         batch = self._in_flight
         if not self.delivery_batching or (
             len(batch.heap) + self._direct_outstanding < self._direct_post_max
@@ -721,7 +804,15 @@ class Network:
         latency_table = self.topology.latency_map()
         degraded = self._degraded
         jitter_fraction = self.jitter_fraction
-        uniform = self._uniform
+        region_uniform = self._region_uniform
+        if region_uniform is not None:
+            uniform = region_uniform[src_region]
+            degrade_rng = self._region_degrade[src_region]
+        else:
+            uniform = self._uniform
+            degrade_rng = self._degrade_rng
+        export = self._export
+        remote_regions = self._remote_regions
         delivery_batching = self.delivery_batching
         direct_max = self._direct_post_max
         batch = self._in_flight
@@ -751,7 +842,9 @@ class Network:
                     self._count_drop("unknown_destination")
                     continue
             else:
-                drop_reason = self._drop_reason(src, dst, sender, dst_region)
+                drop_reason = self._drop_reason(
+                    src, dst, sender, dst_region, uniform, degrade_rng
+                )
                 if drop_reason is not None:
                     self._count_drop(drop_reason)
                     continue
@@ -766,6 +859,12 @@ class Network:
                 latency = base
             if latency < 0.0:
                 latency = 0.0
+            if export is not None and dst_region in remote_regions:
+                # Region-sharded mode: see the matching branch in send().
+                export(src_region, dst_region, now + latency,
+                       self._alloc_seq(), kind, payload, src, dst,
+                       wire_size, now)
+                continue
             if not delivery_batching or (
                 len(heap) + self._direct_outstanding < direct_max
             ):
@@ -783,9 +882,19 @@ class Network:
                 self._retarget_deliveries(batch)
 
     def _drop_reason(
-        self, src: str, dst: str, sender: Endpoint, dst_region: Optional[str]
+        self,
+        src: str,
+        dst: str,
+        sender: Endpoint,
+        dst_region: Optional[str],
+        uniform: Callable[[], float],
+        degrade_rng,
     ) -> Optional[str]:
         """Send-time drop decision; RNG draws happen here and only here.
+
+        The loss/degrade streams are passed in by the caller — the shared
+        ``network`` streams normally, the sender-region streams under
+        ``region_rng`` — so this body stays byte-identical in both modes.
 
         Every container check is guarded by a truthiness test so the
         fault-free hot path never builds a frozenset per message, and the
@@ -812,12 +921,93 @@ class Network:
             if (
                 entry is not None
                 and entry[1] > 0.0
-                and self._degrade_rng.random() < entry[1]
+                and degrade_rng.random() < entry[1]
             ):
                 return "degraded"
-        if self.loss_rate > 0 and self._uniform() < self.loss_rate:
+        if self.loss_rate > 0 and uniform() < self.loss_rate:
             return "loss"
         return None
+
+    # ------------------------------------------------------- region sharding
+    def enable_region_sharding(
+        self,
+        local_regions: Sequence[str],
+        remote_regions: Sequence[str],
+        address_regions: Dict[str, str],
+        exporter: Callable[..., None],
+    ) -> None:
+        """Turn this network into one shard of a region-partitioned run.
+
+        ``local_regions`` are the regions whose endpoints live (and register)
+        in this process; any send toward a region in ``remote_regions`` is
+        handed to ``exporter(src_region, dst_region, arrival_time, seq, kind,
+        payload, src, dst, wire_size, sent_at)`` after all local accounting
+        and RNG draws, instead of being scheduled locally. ``address_regions``
+        maps *every* address in the whole simulation to its region, so
+        destination regions resolve without the remote endpoints ever
+        registering here.
+
+        Requires ``region_rng=True``: with the single shared ``network``
+        stream, which draw a send gets depends on the global cross-region
+        interleaving of sends, which no longer exists once regions run in
+        separate processes.
+        """
+        if not self.region_rng:
+            raise NetworkError(
+                "region sharding requires Network(region_rng=True) — the "
+                "shared 'network' RNG stream is not decomposable by region"
+            )
+        local = frozenset(local_regions)
+        remote = frozenset(remote_regions)
+        overlap = local & remote
+        if overlap:
+            raise NetworkError(
+                f"regions {sorted(overlap)} listed as both local and remote"
+            )
+        known = {r.name for r in self.topology.regions}
+        unknown = (local | remote) - known
+        if unknown:
+            raise NetworkError(
+                f"unknown regions in sharding config: {sorted(unknown)}"
+            )
+        self._remote_regions = remote
+        self._export = exporter
+        # Pre-populate the address -> region map: remote destinations are
+        # routable (latency model + partition checks) without registration.
+        for address, region in address_regions.items():
+            self._last_region.setdefault(address, region)
+
+    def inject_remote(
+        self,
+        arrival: float,
+        kind: str,
+        payload: object,
+        src: str,
+        dst: str,
+        size: int,
+        sent_at: float,
+    ) -> None:
+        """Schedule a delivery exported by another region's worker.
+
+        Called by the parallel coordinator's barrier merge, in the
+        deterministic ``(arrival, src-region index, sender seq)`` order — the
+        local delivery seq is allocated here, by insertion order, so the
+        destination worker's event order is a pure function of the merged
+        stream. The in-flight fault re-check still runs at delivery time via
+        :meth:`_deliver`, so a partition injected in this window drops a
+        message sent before it, exactly as in the serial run.
+        """
+        sim = self.sim
+        if arrival < sim.now:
+            raise NetworkError(
+                f"remote injection at t={arrival:.6f} behind local clock "
+                f"t={sim.now:.6f} — lookahead (window width) violated"
+            )
+        self._direct_outstanding += 1
+        self._queue.push(
+            arrival, self._deliver,
+            (Message(kind, payload, src, dst, size, sent_at),),
+        )
 
     # ------------------------------------------------------ batched delivery
     def _retarget_deliveries(self, batch: _DeliveryBatch) -> None:

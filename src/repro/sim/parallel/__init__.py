@@ -1,0 +1,32 @@
+"""Region-sharded parallel simulation kernel (conservative window sync).
+
+Each region group's event loop runs in its own forked worker process;
+workers advance in lockstep time windows whose width (lookahead) is the
+topology's minimum inter-region one-way latency, exchanging cross-region
+messages at window barriers in a deterministic merge order. See
+``coordinator.py`` for the synchronization argument, ``worker.py`` for the
+per-process protocol, ``partition.py`` for region/fault-plan partitioning,
+and ``workload.py`` for the canonical sharded SWIM workload the benches and
+equivalence tests drive.
+"""
+
+from repro.sim.parallel.coordinator import ParallelSimulation
+from repro.sim.parallel.partition import (
+    assign_regions,
+    fault_owner_regions,
+    plan_event_surplus,
+    slice_plan,
+    validate_plan_for_parallel,
+)
+from repro.sim.parallel.worker import ShardBuilder, WorkerShard
+
+__all__ = [
+    "ParallelSimulation",
+    "ShardBuilder",
+    "WorkerShard",
+    "assign_regions",
+    "fault_owner_regions",
+    "plan_event_surplus",
+    "slice_plan",
+    "validate_plan_for_parallel",
+]

@@ -1,0 +1,174 @@
+"""Region -> worker assignment and fault-plan partitioning.
+
+The parallel kernel shards a simulation by *region*: worker ``i`` owns
+``regions[i::workers]`` (round-robin over the topology's region order), so
+any worker count from 1 to ``len(regions)`` yields a deterministic,
+assignment-stable partition. Intra-worker traffic — including traffic
+between two regions owned by the same worker — never crosses a process
+boundary.
+
+Fault plans are *replicated, not split*: a fault event is scheduled in every
+worker whose owned regions its effect touches (a WAN partition must be
+visible to senders on both sides), and the replication surplus in the summed
+``events_processed`` is computed statically here so the coordinator can
+reconcile parallel totals with the serial run's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.faults.plan import (
+    ChurnBurst,
+    CrashNode,
+    DegradeLink,
+    FaultEvent,
+    FaultPlan,
+    PartitionRegions,
+    PauseProcess,
+)
+from repro.sim.topology import Topology
+
+
+def assign_regions(regions: Sequence[str], workers: int) -> List[Tuple[str, ...]]:
+    """Round-robin the region names over ``workers`` workers.
+
+    ``workers`` is clamped to ``len(regions)`` — a region is the smallest
+    shardable unit (its endpoints share membership caches and probe
+    batches). Returns one non-empty tuple of region names per worker.
+    """
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if not regions:
+        raise SimulationError("cannot partition an empty region list")
+    workers = min(workers, len(regions))
+    return [tuple(regions[i::workers]) for i in range(workers)]
+
+
+def fault_owner_regions(
+    event: FaultEvent, region_of_address: Dict[str, str]
+) -> Set[str]:
+    """The set of regions in whose workers ``event`` must be scheduled.
+
+    * Crash/pause target one process: the target's region only.
+    * A region partition is checked by *senders* on either side, so every
+      region in ``side_a | side_b`` owns it.
+    * A link degradation is checked by the sender of either endpoint.
+    """
+    if isinstance(event, (CrashNode, PauseProcess)):
+        region = region_of_address.get(event.target)
+        if region is None:
+            raise SimulationError(
+                f"fault targets unknown address {event.target!r} "
+                f"(parallel plans need every target mapped to a region)"
+            )
+        return {region}
+    if isinstance(event, PartitionRegions):
+        return set(event.side_a) | set(event.side_b)
+    if isinstance(event, DegradeLink):
+        regions = set()
+        for address in (event.src, event.dst):
+            region = region_of_address.get(address)
+            if region is None:
+                raise SimulationError(
+                    f"degraded link endpoint {address!r} has no region mapping"
+                )
+            regions.add(region)
+        return regions
+    if isinstance(event, ChurnBurst):
+        raise SimulationError(
+            "ChurnBurst is not supported under the parallel kernel: joins "
+            "create endpoints whose region ownership the static partition "
+            "cannot express — run churn plans with workers=1"
+        )
+    raise SimulationError(f"unknown fault kind {type(event).__name__}")
+
+
+def validate_plan_for_parallel(
+    plan: Optional[FaultPlan],
+    region_of_address: Dict[str, str],
+) -> None:
+    """Reject plans the conservative-window kernel cannot honour.
+
+    The window width (lookahead) equals the *minimum* inter-region one-way
+    latency, so any fault that could make a cross-region message arrive
+    sooner than that floor breaks the synchronization invariant. Today that
+    is exactly one case: a :class:`DegradeLink` with ``latency_multiplier``
+    below 1.0 spanning two regions. (``ChurnBurst`` is rejected in
+    :func:`fault_owner_regions` for ownership reasons.)
+    """
+    if plan is None or plan.empty:
+        return
+    for event in plan.sorted_events():
+        fault_owner_regions(event, region_of_address)  # raises on churn
+        if isinstance(event, DegradeLink) and event.latency_multiplier < 1.0:
+            src_region = region_of_address.get(event.src)
+            dst_region = region_of_address.get(event.dst)
+            if src_region != dst_region:
+                raise SimulationError(
+                    f"DegradeLink {event.src}~{event.dst} with "
+                    f"latency_multiplier={event.latency_multiplier:g} < 1.0 "
+                    f"spans regions {src_region}/{dst_region}: it could beat "
+                    f"the inter-region latency floor the window width is "
+                    f"derived from — not runnable under the parallel kernel"
+                )
+
+
+def slice_plan(
+    plan: Optional[FaultPlan],
+    owned_regions: Sequence[str],
+    region_of_address: Dict[str, str],
+) -> FaultPlan:
+    """The sub-plan one worker must execute: every event whose owner-region
+    set intersects ``owned_regions``. Events are replicated across owners
+    (a partition fires in the workers of both sides); the resulting
+    ``events_processed`` surplus is what :func:`plan_event_surplus` counts.
+    """
+    owned = set(owned_regions)
+    sliced = FaultPlan()
+    if plan is None or plan.empty:
+        return sliced
+    for event in plan.sorted_events():
+        if fault_owner_regions(event, region_of_address) & owned:
+            sliced.add(event)
+    return sliced
+
+
+def _events_per_fault(event: FaultEvent) -> int:
+    """Simulator events one firing of ``event`` costs (fire + scheduled
+    follow-up). Mirrors ``ChaosEngine``: the fire callback always runs; the
+    heal/clear follow-up is scheduled unconditionally when a delay is set.
+    Crash restarts and pause resumes are follow-ups too, but those fault
+    kinds are single-owner so they never contribute surplus.
+    """
+    if isinstance(event, PartitionRegions):
+        return 1 + (1 if event.heal_after is not None else 0)
+    if isinstance(event, DegradeLink):
+        return 1 + (1 if event.clear_after is not None else 0)
+    return 1
+
+
+def plan_event_surplus(
+    plan: Optional[FaultPlan],
+    assignments: Sequence[Sequence[str]],
+    region_of_address: Dict[str, str],
+) -> int:
+    """How many extra ``events_processed`` the replicated plan adds.
+
+    A fault scheduled in ``k`` workers executes its fire (and any heal/clear
+    follow-up) ``k`` times where the serial run executes it once; the
+    difference is ``(k - 1) * events_per_fault`` summed over the plan. The
+    chaos callbacks make no RNG draws and send no messages, so replication
+    changes *only* this count — which is why it can be reconciled statically.
+    """
+    if plan is None or plan.empty:
+        return 0
+    owned_sets = [set(regions) for regions in assignments]
+    surplus = 0
+    for event in plan.sorted_events():
+        owners = fault_owner_regions(event, region_of_address)
+        scheduled_in = sum(1 for owned in owned_sets if owners & owned)
+        if scheduled_in > 1:
+            surplus += (scheduled_in - 1) * _events_per_fault(event)
+    return surplus
